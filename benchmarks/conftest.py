@@ -1,0 +1,37 @@
+"""Benchmark-suite configuration.
+
+``REPRO_BENCH_SCALE`` selects the parameter grid:
+
+* ``small`` (default) — reduced process counts; the full suite runs in a few
+  minutes and still checks every paper *shape* assertion.
+* ``paper`` — the paper's own grids (2560-writer streams, 4096-rank SP.D,
+  8281-rank BT.D); budget hours.
+
+Each benchmark prints the regenerated table (use ``pytest -s``) and asserts
+the shape criteria from DESIGN.md section 4.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    value = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if value not in ("small", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be small|paper, got {value!r}")
+    return value
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a rendered table so ``pytest -s`` reproduces the figure."""
+
+    def _show(table) -> None:
+        print()
+        print(table.render())
+
+    return _show

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works on offline machines that lack the
+``wheel`` package (pip falls back to the ``setup.py develop`` editable path).
+All actual metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

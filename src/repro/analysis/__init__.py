@@ -1,0 +1,44 @@
+"""Analysis knowledge sources and profiling reports.
+
+The data-flow of paper Figure 4, instantiated per blackboard level (one per
+instrumented application):
+
+* ``KS_Unpacker`` — decodes event packs into typed event batches;
+* ``KS_MPIProfiler`` — per-call-name statistics (hits, time, bytes);
+* ``KS_Topology`` — point-to-point communication matrices/graphs weighted in
+  hits, total size and total time (paper Figure 17);
+* ``KS_DensityMap`` — per-rank hits/time/size maps for MPI calls
+  (paper Figure 18);
+* ``KS_WaitState`` — the preliminary wait-state analysis the paper describes
+  as work-in-progress (Section IV-D).
+
+Each module keeps a mergeable *state* so per-analyzer-rank partial results
+reduce into one report at the analyzer root.
+"""
+
+from repro.analysis.profiler import MPIProfile
+from repro.analysis.topology import CommMatrix
+from repro.analysis.density import DensityMaps
+from repro.analysis.waitstate import WaitState
+from repro.analysis.otf2proxy import OTF2Proxy, SelectionConfig
+from repro.analysis.alerts import Alert, AlertConfig, AlertMonitor
+from repro.analysis.latesender import LateSenderAnalysis
+from repro.analysis.engine import AnalyzerEngine, AnalysisConfig
+from repro.analysis.report import ApplicationReport, ProfileReport
+
+__all__ = [
+    "MPIProfile",
+    "CommMatrix",
+    "DensityMaps",
+    "WaitState",
+    "OTF2Proxy",
+    "SelectionConfig",
+    "Alert",
+    "AlertConfig",
+    "AlertMonitor",
+    "LateSenderAnalysis",
+    "AnalyzerEngine",
+    "AnalysisConfig",
+    "ApplicationReport",
+    "ProfileReport",
+]

@@ -1,0 +1,133 @@
+"""Density map module: per-rank behaviour comparison (paper Fig. 18).
+
+For every MPI (and POSIX) call name the module maintains three vectors over
+application ranks — hits, total time and total size — "useful to identify
+spatial imbalances".  Maps can be rendered as 2D ASCII heat grids when the
+application's rank layout is a square/rectangular mesh (as the paper's PNG
+density maps are).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.instrument.events import CALL_IDS, CALL_NAMES
+
+
+class DensityMaps:
+    """Mergeable per-rank x per-call density statistics."""
+
+    METRICS = ("hits", "time", "size")
+
+    def __init__(self, app: str, app_size: int):
+        if app_size <= 0:
+            raise ReproError(f"app_size must be > 0, got {app_size}")
+        self.app = app
+        self.app_size = app_size
+        # call id -> metric -> vector over ranks
+        self.maps: dict[int, dict[str, np.ndarray]] = {}
+
+    def _vectors(self, call: int) -> dict[str, np.ndarray]:
+        entry = self.maps.get(call)
+        if entry is None:
+            entry = {
+                "hits": np.zeros(self.app_size),
+                "time": np.zeros(self.app_size),
+                "size": np.zeros(self.app_size),
+            }
+            self.maps[call] = entry
+        return entry
+
+    # -- accumulation --------------------------------------------------------------
+
+    def update(self, rank: int, events: np.ndarray) -> None:
+        if not (0 <= rank < self.app_size):
+            raise ReproError(f"batch from rank {rank} outside app of {self.app_size}")
+        if len(events) == 0:
+            return
+        durations = events["t_end"] - events["t_start"]
+        for call in np.unique(events["call"]):
+            mask = events["call"] == call
+            vecs = self._vectors(int(call))
+            vecs["hits"][rank] += int(mask.sum())
+            vecs["time"][rank] += float(durations[mask].sum())
+            vecs["size"][rank] += float(events["nbytes"][mask].clip(min=0).sum())
+
+    def merge(self, other: "DensityMaps") -> None:
+        if other.app != self.app or other.app_size != self.app_size:
+            raise ReproError("merging density maps of different applications")
+        for call, vecs in other.maps.items():
+            mine = self._vectors(call)
+            for metric in self.METRICS:
+                mine[metric] += vecs[metric]
+
+    # -- queries -----------------------------------------------------------------------
+
+    def map_for(self, call_name: str, metric: str = "hits") -> np.ndarray:
+        """The per-rank vector for one call/metric (zeros if never seen)."""
+        if metric not in self.METRICS:
+            raise ReproError(f"unknown metric {metric!r}; choose from {self.METRICS}")
+        call = CALL_IDS.get(call_name)
+        if call is None:
+            raise ReproError(f"unknown call name {call_name!r}")
+        vecs = self.maps.get(call)
+        if vecs is None:
+            return np.zeros(self.app_size)
+        return vecs[metric].copy()
+
+    def aggregate(self, call_names: list[str], metric: str) -> np.ndarray:
+        """Sum of maps over several calls (e.g. all collectives)."""
+        total = np.zeros(self.app_size)
+        for name in call_names:
+            total += self.map_for(name, metric)
+        return total
+
+    def imbalance(self, call_name: str, metric: str = "time") -> float:
+        """(max - min) / mean over ranks; 0 for a perfectly flat map."""
+        vec = self.map_for(call_name, metric)
+        mean = vec.mean()
+        if mean == 0:
+            return 0.0
+        return float((vec.max() - vec.min()) / mean)
+
+    def calls_seen(self) -> list[str]:
+        return sorted(
+            CALL_NAMES[c] if c < len(CALL_NAMES) else f"call#{c}" for c in self.maps
+        )
+
+    # -- rendering ------------------------------------------------------------------------
+
+    def render_grid(
+        self,
+        call_name: str,
+        metric: str = "hits",
+        columns: int | None = None,
+        levels: str = " .:-=+*#%@",
+    ) -> str:
+        """ASCII heat grid over the rank mesh (row-major rank order)."""
+        vec = self.map_for(call_name, metric)
+        n = self.app_size
+        if columns is None:
+            columns = int(math.isqrt(n))
+            if columns * columns != n:
+                columns = min(n, 32)
+        rows = -(-n // columns)
+        lo, hi = float(vec.min()), float(vec.max())
+        span = hi - lo
+        out = [f"{self.app}: {call_name} [{metric}]  min={lo:.4g} max={hi:.4g}"]
+        for r in range(rows):
+            cells = []
+            for c in range(columns):
+                idx = r * columns + c
+                if idx >= n:
+                    break
+                if span == 0:
+                    cells.append(levels[0])
+                else:
+                    level = int((vec[idx] - lo) / span * (len(levels) - 1))
+                    cells.append(levels[level])
+            out.append("".join(cells))
+        return "\n".join(out)

@@ -1,0 +1,260 @@
+"""The analyzer engine: blackboard wiring + the analyzer program.
+
+Each analyzer rank runs :func:`analyzer_program`: it maps itself to every
+application partition (``VMPI_Map``), opens a read-mode stream, and feeds
+every received event pack to its :class:`AnalyzerEngine` — a multi-level
+blackboard with the Figure-4 pipeline instantiated per application level.
+Analysis CPU cost is charged to the analyzer's simulated timeline, which is
+what creates backpressure towards the instrumented applications when the
+analyzer partition is undersized.
+
+At EOF the per-rank partial states are gathered on the analyzer root and
+merged into one :class:`~repro.analysis.report.ProfileReport` — the paper's
+"dedicated report with full details of each program's behaviour, briefly
+after execution ends".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigError
+from repro.analysis.alerts import AlertMonitor
+from repro.analysis.density import DensityMaps
+from repro.analysis.latesender import LateSenderAnalysis
+from repro.analysis.otf2proxy import OTF2Proxy
+from repro.analysis.profiler import MPIProfile
+from repro.analysis.report import ApplicationReport, ProfileReport
+from repro.analysis.topology import CommMatrix
+from repro.analysis.waitstate import WaitState
+from repro.blackboard.multilevel import MultiLevelBlackboard
+from repro.instrument.packer import decode_pack
+from repro.vmpi.mapping import MapPolicy, ROUND_ROBIN, VMPIMap, map_partitions
+from repro.vmpi.stream import BALANCE_ROUND_ROBIN, EOF, VMPIStream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.world import ProgramAPI
+
+_MODULE_CLASSES = {
+    "profile": MPIProfile,
+    "topology": CommMatrix,
+    "density": DensityMaps,
+    "waitstate": WaitState,
+    # Extension modules (the paper's Section VI work-in-progress items);
+    # not enabled by default — add them to AnalysisConfig.modules.
+    "otf2proxy": OTF2Proxy,
+    "alerts": AlertMonitor,
+    "latesender": LateSenderAnalysis,
+}
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Analyzer-side knobs: CPU cost model and enabled modules."""
+
+    per_byte_cpu: float = 0.8e-9  # ~1.25 GB/s single-core analysis rate
+    per_pack_cpu: float = 8.0e-6
+    modules: tuple[str, ...] = ("profile", "topology", "density", "waitstate")
+    nqueues: int = 8
+    map_policy: MapPolicy = ROUND_ROBIN
+    block_size: int = 1024 * 1024
+    na_buffers: int = 3
+
+    def __post_init__(self) -> None:
+        if self.per_byte_cpu < 0 or self.per_pack_cpu < 0:
+            raise ConfigError("analysis CPU costs must be >= 0")
+        unknown = set(self.modules) - set(_MODULE_CLASSES)
+        if unknown:
+            raise ConfigError(f"unknown analysis modules: {sorted(unknown)}")
+        if not self.modules:
+            raise ConfigError("at least one analysis module is required")
+
+    def cpu_cost(self, modeled_bytes: int) -> float:
+        return self.per_pack_cpu + self.per_byte_cpu * modeled_bytes
+
+
+class AnalyzerEngine:
+    """Per-analyzer-rank multi-level blackboard with the analysis pipeline."""
+
+    def __init__(self, apps: list[tuple[str, int]], config: AnalysisConfig, seed: int = 0):
+        if not apps:
+            raise ConfigError("analyzer engine needs at least one application")
+        self.apps = list(apps)
+        self.config = config
+        self.ml = MultiLevelBlackboard(
+            levels=[name for name, _size in apps], nqueues=config.nqueues, seed=seed
+        )
+        # level -> module name -> mergeable state
+        self.states: dict[str, dict[str, Any]] = {}
+        for name, size in apps:
+            level_states = {
+                mod: _MODULE_CLASSES[mod](name, size) for mod in config.modules
+            }
+            self.states[name] = level_states
+            self._wire_level(name, level_states)
+        self.packs_ingested = 0
+        self.bytes_ingested = 0
+
+    def _wire_level(self, level: str, level_states: dict[str, Any]) -> None:
+        board = self.ml.board
+        pack_id = self.ml.type_id("event_pack", level)
+        events_id = self.ml.type_id("mpi_events", level)
+
+        def unpack(b, entries):
+            for entry in entries:
+                header, events = decode_pack(entry.payload)
+                b.submit(events_id, (header.rank, events), size=events.nbytes)
+
+        board.register_ks(f"KS_Unpacker[{level}]", [pack_id], unpack)
+
+        for mod_name, state in level_states.items():
+            def make_op(st):
+                def op(_b, entries):
+                    for entry in entries:
+                        rank, events = entry.payload
+                        st.update(rank, events)
+                return op
+
+            board.register_ks(f"KS_{mod_name}[{level}]", [events_id], make_op(state))
+
+    # -- ingestion --------------------------------------------------------------------
+
+    def ingest(self, pack_bytes: bytes) -> None:
+        """Feed one pack and drain the pipeline inline (deterministic)."""
+        self.ml.submit_pack(pack_bytes)
+        self.ml.board.run_until_idle()
+        self.packs_ingested += 1
+        self.bytes_ingested += len(pack_bytes)
+
+    # -- reduction --------------------------------------------------------------------
+
+    def merge_states(self, other: dict[str, dict[str, Any]]) -> None:
+        """Fold another analyzer rank's partial states into ours."""
+        for level, mods in other.items():
+            mine = self.states.get(level)
+            if mine is None:
+                raise ConfigError(f"merge of unknown level {level!r}")
+            for mod_name, state in mods.items():
+                mine[mod_name].merge(state)
+
+    def build_report(self) -> ProfileReport:
+        chapters = []
+        for name, size in self.apps:
+            mods = self.states[name]
+            chapters.append(
+                ApplicationReport(
+                    app=name,
+                    app_size=size,
+                    profile=mods.get("profile"),
+                    topology=mods.get("topology"),
+                    density=mods.get("density"),
+                    waitstate=mods.get("waitstate"),
+                    alerts=mods.get("alerts"),
+                    otf2proxy=mods.get("otf2proxy"),
+                    latesender=mods.get("latesender"),
+                )
+            )
+        return ProfileReport(chapters=chapters)
+
+
+def _latesender_exchange(mpi: "ProgramAPI", engine: AnalyzerEngine):
+    """Generator: one all-to-all redistributing late-sender shards."""
+    comm = mpi.comm_world
+    nshards = comm.size
+    # Build my row: packets[dest] = {level: packet-for-dest}
+    row: list[dict[str, dict]] = [{} for _ in range(nshards)]
+    payload_tuples = 0
+    for level, mods in engine.states.items():
+        state: LateSenderAnalysis = mods["latesender"]
+        packets = state.shard(nshards)
+        state.reset_local()
+        for dest, packet in enumerate(packets):
+            row[dest][level] = packet
+            payload_tuples += len(packet["sends"]) + len(packet["recvs"])
+    nbytes = max(64, 24 * payload_tuples // max(1, nshards))
+    received = yield from comm.alltoall(nbytes=nbytes, payload=row)
+    for per_level in received:
+        if per_level is None:
+            continue
+        for level, packet in per_level.items():
+            engine.states[level]["latesender"].absorb(packet)
+    for mods in engine.states.values():
+        mods["latesender"].finalize()
+
+
+def analyzer_program(
+    mpi: "ProgramAPI",
+    config: AnalysisConfig | None = None,
+    sink: dict | None = None,
+):
+    """Generator: the analyzer partition's main (paper Figure 12).
+
+    ``sink`` (a plain dict) receives, on the analyzer root:
+    ``report`` (:class:`ProfileReport`) and ``analyzer_stats``.
+    """
+    config = config or AnalysisConfig()
+    yield from mpi.init()
+    world = mpi.ctx.world
+    my_partition = mpi.partition
+    app_partitions = [p for p in world.partitions if p.index != my_partition.index]
+    if not app_partitions:
+        raise ConfigError("analyzer launched without application partitions")
+
+    # Map each application partition (additive map, paper Figure 12).
+    vmap = VMPIMap()
+    for p in app_partitions:
+        yield from map_partitions(mpi, vmap, p, policy=config.map_policy)
+
+    stream = VMPIStream(
+        block_size=config.block_size,
+        balance=BALANCE_ROUND_ROBIN,
+        na_buffers=config.na_buffers,
+        channel=0,
+    )
+    yield from stream.open_map(mpi, vmap, "r")
+
+    engine = AnalyzerEngine(
+        apps=[(p.name, p.size) for p in app_partitions],
+        config=config,
+        seed=world.seed + mpi.rank,
+    )
+
+    while True:
+        nbytes, payload = yield from stream.read()
+        if nbytes == EOF:
+            break
+        # Charge the analysis CPU cost for this block to simulated time.
+        yield from mpi.compute(config.cpu_cost(nbytes))
+        engine.ingest(payload)
+
+    yield from stream.close()
+
+    # Distributed stateful analysis (paper Sec. VI): late-sender matching
+    # needs both ends of every message on one analyzer rank.  Shard the
+    # local send/receive tuples by sending application rank and exchange
+    # them across the analyzer partition, then match locally.
+    if "latesender" in config.modules:
+        yield from _latesender_exchange(mpi, engine)
+
+    # Reduce partial states to the analyzer root.
+    gathered = yield from mpi.comm_world.gather(
+        nbytes=max(64, engine.bytes_ingested // max(1, engine.packs_ingested)),
+        root=0,
+        payload=(engine.states, engine.packs_ingested, engine.bytes_ingested),
+    )
+    if mpi.rank == 0:
+        total_packs = engine.packs_ingested
+        total_bytes = engine.bytes_ingested
+        for other_states, other_packs, other_bytes in gathered[1:]:
+            engine.merge_states(other_states)
+            total_packs += other_packs
+            total_bytes += other_bytes
+        if sink is not None:
+            sink["report"] = engine.build_report()
+            sink["analyzer_stats"] = {
+                "packs": total_packs,
+                "bytes": total_bytes,
+                "board": engine.ml.board.stats(),
+            }
+    yield from mpi.finalize()

@@ -1,0 +1,127 @@
+"""MPI profile module: per-call-name statistics.
+
+Reduces event batches to an ``mpiP``-style interface profile: hits, total /
+mean / min / max time, and byte volume per MPI call name, plus per-rank
+wall-clock estimates.  States merge across analyzer ranks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.instrument.events import CALL_NAMES
+from repro.util.stats import RunningStats
+from repro.util.tables import Table
+
+
+class _CallStats:
+    __slots__ = ("hits", "time", "nbytes", "t_min", "t_max")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.time = 0.0
+        self.nbytes = 0
+        self.t_min = math.inf
+        self.t_max = 0.0
+
+    def merge(self, other: "_CallStats") -> None:
+        self.hits += other.hits
+        self.time += other.time
+        self.nbytes += other.nbytes
+        self.t_min = min(self.t_min, other.t_min)
+        self.t_max = max(self.t_max, other.t_max)
+
+
+class MPIProfile:
+    """Mergeable per-application MPI interface profile."""
+
+    def __init__(self, app: str, app_size: int):
+        if app_size <= 0:
+            raise ReproError(f"app_size must be > 0, got {app_size}")
+        self.app = app
+        self.app_size = app_size
+        self.calls: dict[int, _CallStats] = {}
+        self.events_total = 0
+        self.bytes_total = 0
+        # Per-rank first/last event timestamps -> wall-time estimates.
+        self.rank_t0 = np.full(app_size, np.inf)
+        self.rank_t1 = np.zeros(app_size)
+        self.rank_events = np.zeros(app_size, dtype=np.int64)
+
+    # -- accumulation ------------------------------------------------------------
+
+    def update(self, rank: int, events: np.ndarray) -> None:
+        """Fold one event batch from one application rank."""
+        if not (0 <= rank < self.app_size):
+            raise ReproError(f"event batch from rank {rank} outside app of {self.app_size}")
+        if len(events) == 0:
+            return
+        durations = events["t_end"] - events["t_start"]
+        self.events_total += len(events)
+        self.bytes_total += int(events["nbytes"].clip(min=0).sum())
+        self.rank_t0[rank] = min(self.rank_t0[rank], float(events["t_start"].min()))
+        self.rank_t1[rank] = max(self.rank_t1[rank], float(events["t_end"].max()))
+        self.rank_events[rank] += len(events)
+        for call in np.unique(events["call"]):
+            mask = events["call"] == call
+            stats = self.calls.setdefault(int(call), _CallStats())
+            stats.hits += int(mask.sum())
+            d = durations[mask]
+            stats.time += float(d.sum())
+            stats.nbytes += int(events["nbytes"][mask].clip(min=0).sum())
+            stats.t_min = min(stats.t_min, float(d.min()))
+            stats.t_max = max(stats.t_max, float(d.max()))
+
+    def merge(self, other: "MPIProfile") -> None:
+        if other.app != self.app or other.app_size != self.app_size:
+            raise ReproError("merging profiles of different applications")
+        for call, stats in other.calls.items():
+            self.calls.setdefault(call, _CallStats()).merge(stats)
+        self.events_total += other.events_total
+        self.bytes_total += other.bytes_total
+        np.minimum(self.rank_t0, other.rank_t0, out=self.rank_t0)
+        np.maximum(self.rank_t1, other.rank_t1, out=self.rank_t1)
+        self.rank_events += other.rank_events
+
+    # -- results ------------------------------------------------------------------
+
+    @property
+    def walltime_estimate(self) -> float:
+        """Max first-to-last event span across ranks."""
+        spans = self.rank_t1 - np.where(np.isfinite(self.rank_t0), self.rank_t0, 0.0)
+        valid = self.rank_events > 0
+        return float(spans[valid].max()) if valid.any() else 0.0
+
+    @property
+    def mpi_time_total(self) -> float:
+        return sum(s.time for s in self.calls.values())
+
+    def instrumentation_bandwidth(self, record_bytes: int = 40) -> float:
+        """``Bi = total event size / execution time`` (paper Sec. IV-C)."""
+        wall = self.walltime_estimate
+        if wall <= 0:
+            return 0.0
+        return self.events_total * record_bytes / wall
+
+    def rows(self) -> list[tuple[str, int, float, float, float, float, int]]:
+        """(name, hits, total time, mean, min, max, bytes), by time desc."""
+        out = []
+        for call, stats in self.calls.items():
+            name = CALL_NAMES[call] if call < len(CALL_NAMES) else f"call#{call}"
+            mean = stats.time / stats.hits if stats.hits else 0.0
+            tmin = stats.t_min if stats.hits else 0.0
+            out.append((name, stats.hits, stats.time, mean, tmin, stats.t_max, stats.nbytes))
+        out.sort(key=lambda row: row[2], reverse=True)
+        return out
+
+    def table(self) -> Table:
+        t = Table(
+            ["call", "hits", "time_s", "mean_s", "min_s", "max_s", "bytes"],
+            title=f"MPI profile — {self.app} ({self.app_size} ranks)",
+        )
+        for row in self.rows():
+            t.add_row(*row)
+        return t

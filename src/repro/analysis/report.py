@@ -1,0 +1,187 @@
+"""Profiling reports: one chapter per instrumented application (paper IV-D).
+
+The paper emits a 20-70 page LaTeX document; we render Markdown with the
+same structure: per application a summary, the MPI interface profile, the
+topological module's matrices/graph statistics, density-map extracts and the
+wait-state summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.density import DensityMaps
+from repro.analysis.profiler import MPIProfile
+from repro.analysis.topology import CommMatrix
+from repro.analysis.waitstate import WaitState
+from repro.util.units import fmt_bw, fmt_bytes, fmt_time
+
+
+@dataclass
+class ApplicationReport:
+    """One report chapter."""
+
+    app: str
+    app_size: int
+    profile: Optional[MPIProfile] = None
+    topology: Optional[CommMatrix] = None
+    density: Optional[DensityMaps] = None
+    waitstate: Optional[WaitState] = None
+    alerts: object = None  # AlertMonitor (extension module), if enabled
+    otf2proxy: object = None  # OTF2Proxy (extension module), if enabled
+    latesender: object = None  # LateSenderAnalysis (extension), if enabled
+
+    def render(self, verbosity: int = 1) -> str:
+        lines = [f"## Application: {self.app} ({self.app_size} ranks)", ""]
+        if self.profile is not None:
+            lines += self._render_profile(verbosity)
+        if self.topology is not None:
+            lines += self._render_topology(verbosity)
+        if self.density is not None:
+            lines += self._render_density(verbosity)
+        if self.waitstate is not None:
+            lines += self._render_waitstate()
+        if self.alerts is not None:
+            lines += self._render_alerts()
+        if self.otf2proxy is not None:
+            lines += self._render_proxy()
+        if self.latesender is not None:
+            lines += self._render_latesender()
+        return "\n".join(lines)
+
+    def _render_profile(self, verbosity: int) -> list[str]:
+        p = self.profile
+        out = ["### MPI profile", ""]
+        out.append(f"- events analysed: {p.events_total}")
+        out.append(f"- wall-time estimate: {fmt_time(p.walltime_estimate)}")
+        out.append(f"- time inside MPI: {fmt_time(p.mpi_time_total)}")
+        out.append(f"- instrumentation bandwidth Bi: {fmt_bw(p.instrumentation_bandwidth())}")
+        out.append("")
+        out.append("```")
+        out.append(p.table().render())
+        out.append("```")
+        out.append("")
+        return out
+
+    def _render_topology(self, verbosity: int) -> list[str]:
+        t = self.topology
+        hits, size, time = t.totals()
+        out = ["### Point-to-point topology", ""]
+        out.append(f"- messages: {int(hits)}")
+        out.append(f"- total size: {fmt_bytes(size)}")
+        out.append(f"- total time: {fmt_time(time)}")
+        out.append(f"- communicating pairs: {len(t.cells)}")
+        degrees = t.degree_histogram()
+        deg_txt = ", ".join(f"{d} peers x{c}" for d, c in sorted(degrees.items()))
+        out.append(f"- out-degree histogram: {deg_txt}")
+        top = t.top_pairs("size", k=5)
+        if top:
+            out.append("- heaviest pairs (size): " + ", ".join(
+                f"{s}->{d} {fmt_bytes(w)}" for s, d, w in top
+            ))
+        if verbosity >= 2 and t.app_size <= 64:
+            out.append("")
+            out.append("```dot")
+            out.append(t.to_dot("size"))
+            out.append("```")
+        out.append("")
+        return out
+
+    def _render_density(self, verbosity: int) -> list[str]:
+        d = self.density
+        out = ["### Density maps", ""]
+        for call in d.calls_seen():
+            imb = d.imbalance(call, "time")
+            vec = d.map_for(call, "hits")
+            out.append(
+                f"- {call}: hits/rank [{vec.min():.0f}, {vec.max():.0f}], "
+                f"time imbalance {imb:.2f}"
+            )
+        if verbosity >= 2:
+            for call in ("MPI_Send", "MPI_Waitall"):
+                if call in d.calls_seen():
+                    out.append("")
+                    out.append("```")
+                    out.append(d.render_grid(call, "time"))
+                    out.append("```")
+        out.append("")
+        return out
+
+    def _render_alerts(self) -> list[str]:
+        out = ["### Real-time alerts", ""]
+        if not self.alerts.alerts:
+            out.append("- none raised")
+        else:
+            kinds = self.alerts.by_kind()
+            out.append(
+                "- raised: " + ", ".join(f"{k} x{n}" for k, n in sorted(kinds.items()))
+            )
+            for alert in self.alerts.alerts[:10]:
+                out.append(f"  - {alert.describe()}")
+        out.append("")
+        return out
+
+    def _render_proxy(self) -> list[str]:
+        p = self.otf2proxy
+        out = ["### Selective trace (OTF2 proxy)", ""]
+        out.append(f"- events selected: {p.events_selected} of {p.events_seen} "
+                   f"(selectivity {p.selectivity:.3f})")
+        out.append(f"- trace size: {fmt_bytes(p.trace_bytes())}")
+        out.append("")
+        return out
+
+    def _render_latesender(self) -> list[str]:
+        s = self.latesender.summary()
+        out = ["### Late-sender analysis (distributed)", ""]
+        out.append(f"- matched send/receive pairs: {int(s['matched_pairs'])}")
+        out.append(
+            f"- unmatched: {int(s['unmatched_sends'])} sends, "
+            f"{int(s['unmatched_recvs'])} receives"
+        )
+        out.append(f"- total lateness: {fmt_time(s['late_time_total'])}")
+        worst = self.latesender.worst_receivers(3)
+        if worst:
+            out.append(
+                "- worst receivers: "
+                + ", ".join(f"rank {r} ({fmt_time(t)})" for r, t in worst)
+            )
+        out.append("")
+        return out
+
+    def _render_waitstate(self) -> list[str]:
+        w = self.waitstate
+        s = w.summary()
+        out = ["### Wait-state analysis (preliminary)", ""]
+        out.append(f"- total waiting time: {fmt_time(s['wait_time_total'])}")
+        out.append(f"- mean waiting fraction: {s['wait_fraction_mean']:.3f}")
+        out.append(f"- max waiting fraction: {s['wait_fraction_max']:.3f}")
+        out.append(f"- collective time: {fmt_time(s['collective_time_total'])}")
+        out.append(f"- late ranks (>1.5x mean wait): {int(s['late_rank_count'])}")
+        out.append("")
+        return out
+
+
+@dataclass
+class ProfileReport:
+    """The full multi-application report."""
+
+    chapters: list[ApplicationReport] = field(default_factory=list)
+
+    def chapter(self, app: str) -> ApplicationReport:
+        for ch in self.chapters:
+            if ch.app == app:
+                return ch
+        raise KeyError(f"no report chapter for application {app!r}")
+
+    def render(self, verbosity: int = 1) -> str:
+        header = [
+            "# Online profiling report",
+            "",
+            f"Applications profiled concurrently: {len(self.chapters)}",
+            "",
+        ]
+        return "\n".join(header + [ch.render(verbosity) for ch in self.chapters])
+
+    def __contains__(self, app: str) -> bool:
+        return any(ch.app == app for ch in self.chapters)

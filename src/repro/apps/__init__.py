@@ -1,0 +1,36 @@
+"""Application workloads: NAS-MPI communication skeletons and EulerMHD.
+
+Each kernel reproduces the *communication structure* of its benchmark —
+process grid, per-iteration message pattern, message sizes derived from the
+published problem class — while computation phases are modelled from the
+published operation counts.  This preserves the quantity the paper's
+overhead analysis hinges on: the instrumentation data bandwidth
+``Bi = total event size / execution time`` per benchmark and class.
+
+Kernels run a configurable number of simulated iterations
+(steady-state overhead does not need the full official iteration count);
+volume extrapolation to the official count uses
+:meth:`~repro.apps.base.NASKernel.iteration_scale`.
+"""
+
+from repro.apps.base import AppKernel, ClassSpec, grid_2d
+from repro.apps.nas import BT, CG, EP, FT, LU, MG, SP, nas_kernel
+from repro.apps.eulermhd import EulerMHD
+from repro.apps.synthetic import stream_writer_program, stream_reader_program
+
+__all__ = [
+    "AppKernel",
+    "ClassSpec",
+    "grid_2d",
+    "BT",
+    "CG",
+    "EP",
+    "FT",
+    "LU",
+    "MG",
+    "SP",
+    "nas_kernel",
+    "EulerMHD",
+    "stream_writer_program",
+    "stream_reader_program",
+]

@@ -1,0 +1,107 @@
+"""Workload kernel base classes and grid helpers."""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.world import ProgramAPI
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One NPB problem class: grid size, official iterations, total work."""
+
+    size: int  # problem dimension (grid edge or matrix order)
+    niter: int  # official iteration count of the class
+    gops: float  # published total operation count, in Gop
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.niter <= 0 or self.gops <= 0:
+            raise ConfigError("ClassSpec fields must be positive")
+
+
+def grid_2d(nprocs: int) -> tuple[int, int]:
+    """Factor ``nprocs`` into the most square (px, py) grid with px >= py."""
+    if nprocs <= 0:
+        raise ConfigError(f"nprocs must be > 0, got {nprocs}")
+    best = (nprocs, 1)
+    for py in range(1, int(math.isqrt(nprocs)) + 1):
+        if nprocs % py == 0:
+            best = (nprocs // py, py)
+    return best
+
+
+def is_square(n: int) -> bool:
+    r = math.isqrt(n)
+    return r * r == n
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class AppKernel(ABC):
+    """A runnable workload: produces a ``main(mpi)`` generator."""
+
+    #: short benchmark name, e.g. "SP"
+    name: str = "APP"
+
+    def __init__(self, nprocs: int, iterations: int):
+        if nprocs <= 0:
+            raise ConfigError(f"{self.name}: nprocs must be > 0")
+        if iterations <= 0:
+            raise ConfigError(f"{self.name}: iterations must be > 0")
+        self.validate_nprocs(nprocs)
+        self.nprocs = nprocs
+        self.iterations = iterations
+
+    @classmethod
+    def validate_nprocs(cls, nprocs: int) -> None:
+        """Raise ConfigError when the benchmark cannot run on this count."""
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+    @abstractmethod
+    def main(self, mpi: "ProgramAPI"):
+        """The program generator to hand to a launcher."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.label} nprocs={self.nprocs}>"
+
+
+class NASKernel(AppKernel):
+    """Base for NPB-style kernels parameterised by a problem class."""
+
+    CLASSES: dict[str, ClassSpec] = {}
+
+    def __init__(self, nprocs: int, klass: str = "C", iterations: int = 5):
+        if klass not in self.CLASSES:
+            raise ConfigError(
+                f"{self.name}: unknown class {klass!r}; have {sorted(self.CLASSES)}"
+            )
+        self.klass = klass
+        self.spec = self.CLASSES[klass]
+        super().__init__(nprocs, iterations)
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}.{self.klass}"
+
+    @property
+    def iteration_scale(self) -> float:
+        """Multiplier from simulated iterations to the official count."""
+        return self.spec.niter / self.iterations
+
+    def step_compute_seconds(self, mpi: "ProgramAPI") -> float:
+        """Per-rank compute time of one iteration, from published op counts."""
+        flop_rate = mpi.ctx.world.machine.core_flops_effective
+        flops_per_rank_step = self.spec.gops * 1e9 / (self.spec.niter * self.nprocs)
+        return flops_per_rank_step / flop_rate

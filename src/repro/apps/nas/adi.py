@@ -1,0 +1,112 @@
+"""BT and SP: ADI solvers on the NPB multi-partition scheme.
+
+Both run on a square grid of q x q ranks (nprocs must be a perfect square)
+and perform, per time step, three directional sweep phases of q pipelined
+sub-stages each; every sub-stage exchanges a cell face with the successor in
+the sweep direction.  SP solves scalar penta-diagonal systems with *two*
+sub-sweeps (forward + backward substitution) of small faces — making it the
+chatty, high-``Bi`` benchmark — while BT's block-tridiagonal solves move
+fewer, ~2.5x larger faces.
+
+The resulting neighbour structure (wrap-around row/column/diagonal
+successors) is the torus pattern visible in the paper's Figure 17(d).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.apps.base import ClassSpec, NASKernel, is_square
+
+
+class _ADIBase(NASKernel):
+    """Shared machinery of the multi-partition sweeps."""
+
+    #: sub-sweeps per direction (forward/backward substitution)
+    SWEEPS = 1
+    #: face-size multiplier relative to the 5-variable scalar face
+    FACE_FACTOR = 1.0
+
+    @classmethod
+    def validate_nprocs(cls, nprocs: int) -> None:
+        if not is_square(nprocs):
+            raise ConfigError(
+                f"{cls.name} requires a square process count, got {nprocs}"
+            )
+
+    def face_bytes(self) -> int:
+        """One exchanged cell face: 5 variables x (N/q)^2 doubles."""
+        q = math.isqrt(self.nprocs)
+        cells = (self.spec.size / q) ** 2
+        return max(64, int(5 * cells * 8 * self.FACE_FACTOR))
+
+    def _successor(self, row: int, col: int, q: int, dim: int, direction: int) -> int:
+        step = 1 if direction == 0 else -1
+        if dim == 0:  # x sweep: along the row
+            return row * q + (col + step) % q
+        if dim == 1:  # y sweep: along the column
+            return ((row + step) % q) * q + col
+        # z sweep: diagonal successor
+        return ((row + step) % q) * q + (col + step) % q
+
+    def main(self, mpi):
+        yield from mpi.init()
+        comm = mpi.comm_world
+        if comm.size != self.nprocs:
+            raise ConfigError(
+                f"{self.label} built for {self.nprocs} ranks, launched on {comm.size}"
+            )
+        q = math.isqrt(self.nprocs)
+        row, col = divmod(comm.rank, q)
+        face = self.face_bytes()
+        stages = 3 * self.SWEEPS * q
+        stage_cpu = self.step_compute_seconds(mpi) / stages
+        for _it in range(self.iterations):
+            for dim in range(3):
+                for direction in range(self.SWEEPS):
+                    succ = self._successor(row, col, q, dim, direction)
+                    # Predecessor is the inverse hop of the successor.
+                    pred = self._predecessor(row, col, q, dim, direction)
+                    tag = dim * 2 + direction
+                    for _stage in range(q):
+                        yield from mpi.compute(stage_cpu)
+                        rq = yield from comm.irecv(source=pred, tag=tag)
+                        sq = yield from comm.isend(succ, nbytes=face, tag=tag)
+                        yield from comm.waitall([rq, sq])
+            # Residual norm check (NPB verifies every few steps).
+            yield from comm.allreduce(nbytes=40)
+        yield from comm.barrier()
+        yield from mpi.finalize()
+
+    def _predecessor(self, row: int, col: int, q: int, dim: int, direction: int) -> int:
+        step = -1 if direction == 0 else 1
+        if dim == 0:
+            return row * q + (col + step) % q
+        if dim == 1:
+            return ((row + step) % q) * q + col
+        return ((row + step) % q) * q + (col + step) % q
+
+
+class BT(_ADIBase):
+    """Block-tridiagonal ADI solver (fewer, larger faces)."""
+
+    name = "BT"
+    SWEEPS = 1
+    FACE_FACTOR = 2.5
+    CLASSES = {
+        "C": ClassSpec(size=162, niter=200, gops=2776.0),
+        "D": ClassSpec(size=408, niter=250, gops=58730.0),
+    }
+
+
+class SP(_ADIBase):
+    """Scalar penta-diagonal ADI solver (chatty: forward+backward sweeps)."""
+
+    name = "SP"
+    SWEEPS = 2
+    FACE_FACTOR = 1.0
+    CLASSES = {
+        "C": ClassSpec(size=162, niter=400, gops=2958.0),
+        "D": ClassSpec(size=408, niter=500, gops=64057.0),
+    }

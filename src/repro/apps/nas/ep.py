@@ -1,0 +1,38 @@
+"""EP: embarrassingly parallel random-number kernel.
+
+Almost pure computation; communication is limited to a handful of final
+reductions — the degenerate low-``Bi`` baseline of the suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.apps.base import ClassSpec, NASKernel
+
+
+class EP(NASKernel):
+    name = "EP"
+    CLASSES = {
+        "C": ClassSpec(size=2**32, niter=1, gops=137.0),
+        "D": ClassSpec(size=2**36, niter=1, gops=2197.0),
+    }
+
+    def __init__(self, nprocs: int, klass: str = "C", iterations: int = 1):
+        super().__init__(nprocs, klass, iterations)
+
+    def main(self, mpi):
+        yield from mpi.init()
+        comm = mpi.comm_world
+        if comm.size != self.nprocs:
+            raise ConfigError(
+                f"{self.label} built for {self.nprocs} ranks, launched on {comm.size}"
+            )
+        step_cpu = self.step_compute_seconds(mpi)
+        for _it in range(self.iterations):
+            yield from mpi.compute(step_cpu)
+            # Gaussian pair counts and sums.
+            yield from comm.allreduce(nbytes=8)
+            yield from comm.allreduce(nbytes=16)
+            yield from comm.allreduce(nbytes=80)
+        yield from comm.barrier()
+        yield from mpi.finalize()

@@ -1,0 +1,52 @@
+"""FT: 3D FFT via transpose all-to-all.
+
+Each iteration computes local 1D FFT passes and redistributes the volume
+with one global ``MPI_Alltoall`` — FT is the bandwidth-heavy, low-rate
+benchmark: few events, enormous collective payloads.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.apps.base import ClassSpec, NASKernel, is_power_of_two
+
+
+class FT(NASKernel):
+    name = "FT"
+    CLASSES = {
+        # size is the largest grid edge; volumes below use the full grids.
+        "C": ClassSpec(size=512, niter=20, gops=1278.0),
+        "D": ClassSpec(size=2048, niter=25, gops=32580.0),
+    }
+
+    #: full complex grids per class (NPB: C = 512^3, D = 2048x1024x1024)
+    GRID_CELLS = {"C": 512**3, "D": 2048 * 1024 * 1024}
+
+    @classmethod
+    def validate_nprocs(cls, nprocs: int) -> None:
+        if not is_power_of_two(nprocs):
+            raise ConfigError(f"FT requires a power-of-two process count, got {nprocs}")
+
+    def alltoall_pair_bytes(self) -> int:
+        """Per-pair chunk of the transpose: 16-byte complex cells / P^2."""
+        cells = self.GRID_CELLS[self.klass]
+        return max(1024, int(16 * cells / (self.nprocs**2)))
+
+    def main(self, mpi):
+        yield from mpi.init()
+        comm = mpi.comm_world
+        if comm.size != self.nprocs:
+            raise ConfigError(
+                f"{self.label} built for {self.nprocs} ranks, launched on {comm.size}"
+            )
+        chunk = self.alltoall_pair_bytes()
+        step_cpu = self.step_compute_seconds(mpi)
+        # Initial forward transform does an extra transpose.
+        yield from comm.alltoall(nbytes=chunk)
+        for _it in range(self.iterations):
+            yield from mpi.compute(step_cpu)
+            yield from comm.alltoall(nbytes=chunk)
+            # Checksum reduction closing each iteration (NPB verifies per-iter).
+            yield from comm.reduce(nbytes=16, root=0)
+        yield from comm.barrier()
+        yield from mpi.finalize()

@@ -1,0 +1,85 @@
+"""MG: multigrid V-cycles with per-level halo exchanges.
+
+Ranks form a 3D mesh; every V-cycle visits the grid hierarchy from the
+finest level down and back, exchanging six face halos per level whose size
+shrinks 4x per level — many medium messages plus one residual allreduce per
+step.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.apps.base import ClassSpec, NASKernel, is_power_of_two
+
+
+def grid_3d(nprocs: int) -> tuple[int, int, int]:
+    """Factor a power-of-two count into the most cubic (px, py, pz)."""
+    log_p = int(math.log2(nprocs))
+    pz = 2 ** (log_p // 3)
+    py = 2 ** ((log_p - log_p // 3) // 2)
+    px = nprocs // (py * pz)
+    return px, py, pz
+
+
+class MG(NASKernel):
+    name = "MG"
+    CLASSES = {
+        "C": ClassSpec(size=512, niter=20, gops=155.7),
+        "D": ClassSpec(size=1024, niter=50, gops=3493.0),
+    }
+
+    @classmethod
+    def validate_nprocs(cls, nprocs: int) -> None:
+        if not is_power_of_two(nprocs):
+            raise ConfigError(f"MG requires a power-of-two process count, got {nprocs}")
+
+    def levels(self) -> int:
+        """Grid hierarchy depth down to a 4^3 coarse grid."""
+        return max(1, int(math.log2(self.spec.size)) - 2)
+
+    def face_bytes(self, level: int, px: int) -> int:
+        edge = max(4, self.spec.size >> level)
+        local_edge = max(1, edge // px)
+        return max(64, int(8 * local_edge * local_edge))
+
+    def main(self, mpi):
+        yield from mpi.init()
+        comm = mpi.comm_world
+        if comm.size != self.nprocs:
+            raise ConfigError(
+                f"{self.label} built for {self.nprocs} ranks, launched on {comm.size}"
+            )
+        px, py, pz = grid_3d(self.nprocs)
+        x = comm.rank % px
+        y = (comm.rank // px) % py
+        z = comm.rank // (px * py)
+        neighbours = [
+            ((x + 1) % px) + y * px + z * px * py,
+            ((x - 1) % px) + y * px + z * px * py,
+            x + ((y + 1) % py) * px + z * px * py,
+            x + ((y - 1) % py) * px + z * px * py,
+            x + y * px + ((z + 1) % pz) * px * py,
+            x + y * px + ((z - 1) % pz) * px * py,
+        ]
+        nlevels = self.levels()
+        # A V-cycle visits each level twice (down + up).
+        level_cpu = self.step_compute_seconds(mpi) / (2 * nlevels)
+        for _it in range(self.iterations):
+            for phase_levels in (range(nlevels), reversed(range(nlevels))):
+                for level in phase_levels:
+                    yield from mpi.compute(level_cpu)
+                    face = self.face_bytes(level, px)
+                    reqs = []
+                    for i, nb in enumerate(neighbours):
+                        if nb == comm.rank:
+                            continue
+                        rq = yield from comm.irecv(source=nb, tag=50 + i // 2)
+                        sq = yield from comm.isend(nb, nbytes=face, tag=50 + i // 2)
+                        reqs += [rq, sq]
+                    if reqs:
+                        yield from comm.waitall(reqs)
+            yield from comm.allreduce(nbytes=8)
+        yield from comm.barrier()
+        yield from mpi.finalize()

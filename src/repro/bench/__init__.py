@@ -1,0 +1,39 @@
+"""Benchmark drivers regenerating every figure and table of the paper.
+
+Each driver returns a result object carrying the raw series and a rendered
+:class:`~repro.util.tables.Table` printing the same rows the paper plots.
+Drivers accept a ``scale``:
+
+* ``"small"`` — reduced process counts / volumes, minutes of CPU; the
+  default for the pytest-benchmark suite;
+* ``"paper"`` — the paper's own parameter grid (2560-writer streams,
+  4096-rank SP.D, 8281-rank BT.D); expect long runtimes.
+"""
+
+from repro.bench.harness import OverheadPoint, measure_overhead, sweep
+from repro.bench.figures import (
+    fig14_stream_throughput,
+    fig15_overhead,
+    fig16_tool_comparison,
+    fig17_topology,
+    fig18_density,
+)
+from repro.bench.tables import (
+    bi_bandwidth_table,
+    trace_size_table,
+    fs_comparison_table,
+)
+
+__all__ = [
+    "OverheadPoint",
+    "measure_overhead",
+    "sweep",
+    "fig14_stream_throughput",
+    "fig15_overhead",
+    "fig16_tool_comparison",
+    "fig17_topology",
+    "fig18_density",
+    "bi_bandwidth_table",
+    "trace_size_table",
+    "fs_comparison_table",
+]

@@ -1,0 +1,79 @@
+"""Command-line driver: regenerate any paper figure/table from a shell.
+
+Usage::
+
+    python -m repro.bench fig14 [--scale small|paper] [--seed N]
+    python -m repro.bench fig15
+    python -m repro.bench fig16
+    python -m repro.bench fig17
+    python -m repro.bench fig18
+    python -m repro.bench bi
+    python -m repro.bench trace-sizes
+    python -m repro.bench fs-comparison
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import (
+    bi_bandwidth_table,
+    fig14_stream_throughput,
+    fig15_overhead,
+    fig16_tool_comparison,
+    fig17_topology,
+    fig18_density,
+    fs_comparison_table,
+    trace_size_table,
+)
+
+_DRIVERS = {
+    "fig14": fig14_stream_throughput,
+    "fig15": fig15_overhead,
+    "fig16": fig16_tool_comparison,
+    "fig17": fig17_topology,
+    "fig18": fig18_density,
+    "bi": bi_bandwidth_table,
+    "trace-sizes": trace_size_table,
+    "fs-comparison": fs_comparison_table,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures and tables.",
+    )
+    parser.add_argument(
+        "experiment", choices=sorted(_DRIVERS) + ["all"], help="which artefact to run"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="parameter grid: reduced (default) or the paper's own",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of an aligned table"
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(_DRIVERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        driver = _DRIVERS[name]
+        t0 = time.perf_counter()
+        result = driver(scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - t0
+        table = result.table()
+        print(table.to_csv() if args.csv else table.render())
+        print(f"[{name}: regenerated in {elapsed:.1f}s at scale={args.scale}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Job queues: an array of individually-locked FIFOs (paper Figure 13).
+
+To reduce contention, jobs are pushed onto a random FIFO of the array and
+workers look for work by sweeping the FIFOs from a random starting point; a
+back-off keeps idle workers from spinning on the locks (paper Sec. III-B).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import BlackboardError
+from repro.blackboard.entry import DataEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.blackboard.ks import KnowledgeSource
+
+
+@dataclass
+class Job:
+    """A ready-to-run couple ``{{data entries}, operation}``."""
+
+    ks: "KnowledgeSource"
+    entries: list[DataEntry] = field(default_factory=list)
+
+
+class JobQueues:
+    """Fixed array of locked FIFOs with random placement and sweep."""
+
+    def __init__(self, nqueues: int = 8, seed: int = 0):
+        if nqueues < 1:
+            raise BlackboardError(f"nqueues must be >= 1, got {nqueues}")
+        self.nqueues = nqueues
+        self._queues: list[deque[Job]] = [deque() for _ in range(nqueues)]
+        self._locks = [threading.Lock() for _ in range(nqueues)]
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self.pushed = 0
+        self.popped = 0
+
+    def push(self, job: Job) -> None:
+        """Push to a random FIFO (contention spreading)."""
+        with self._rng_lock:
+            idx = self._rng.randrange(self.nqueues)
+        with self._locks[idx]:
+            self._queues[idx].append(job)
+        self.pushed += 1
+
+    def try_pop(self, start: int | None = None) -> Job | None:
+        """Sweep all FIFOs from ``start`` (random if None); None when empty."""
+        if start is None:
+            with self._rng_lock:
+                start = self._rng.randrange(self.nqueues)
+        for offset in range(self.nqueues):
+            idx = (start + offset) % self.nqueues
+            lock = self._locks[idx]
+            if not lock.acquire(blocking=False):
+                continue
+            try:
+                queue = self._queues[idx]
+                if queue:
+                    self.popped += 1
+                    return queue.popleft()
+            finally:
+                lock.release()
+        # Second pass, blocking, so a busy lock cannot hide the last job.
+        for offset in range(self.nqueues):
+            idx = (start + offset) % self.nqueues
+            with self._locks[idx]:
+                queue = self._queues[idx]
+                if queue:
+                    self.popped += 1
+                    return queue.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0

@@ -1,0 +1,103 @@
+"""Multi-level blackboard: concurrent application profiling (paper Fig. 5).
+
+One physical blackboard hosts several *levels*, one per instrumented
+application; type ids are hashes of (level, type name), so identical
+knowledge sources and data types cohabit per level without interfering.  A
+dispatcher knowledge source reads each incoming event pack's application id
+and re-submits the payload on that application's level — providing direct
+multi-instrumentation support.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import BlackboardError
+from repro.blackboard.board import Blackboard
+from repro.blackboard.entry import DataEntry
+from repro.blackboard.ks import KnowledgeSource
+
+
+class MultiLevelBlackboard:
+    """A blackboard plus per-level namespaces and the dispatcher KS."""
+
+    #: type name of the undispatched, level-less input entries
+    INBOX_TYPE = "event_pack_raw"
+
+    def __init__(
+        self,
+        levels: list[str],
+        nqueues: int = 8,
+        seed: int = 0,
+        classify: Callable[[DataEntry], str] | None = None,
+    ):
+        if not levels:
+            raise BlackboardError("multi-level blackboard needs at least one level")
+        if len(set(levels)) != len(levels):
+            raise BlackboardError("duplicate level names")
+        self.board = Blackboard(nqueues=nqueues, seed=seed)
+        self.levels = list(levels)
+        self._classify = classify or _classify_by_app_id(levels)
+        self._inbox_id = self.board.register_type(self.INBOX_TYPE)
+        self._level_pack_ids: dict[str, int] = {
+            level: self.board.register_type("event_pack", level) for level in levels
+        }
+        self.board.register_ks(
+            "KS_Dispatcher", [self._inbox_id], self._dispatch
+        )
+        self.dispatched: dict[str, int] = {level: 0 for level in levels}
+
+    # -- level-scoped helpers ----------------------------------------------------------
+
+    def type_id(self, name: str, level: str) -> int:
+        self._check_level(level)
+        return self.board.register_type(name, level)
+
+    def register_ks(
+        self, name: str, sensitivities: list[tuple[str, str]], operation
+    ) -> KnowledgeSource:
+        """Register a KS with (type name, level) sensitivities."""
+        ids = [self.type_id(n, lv) for n, lv in sensitivities]
+        return self.board.register_ks(name, ids, operation)
+
+    def register_ks_all_levels(self, name: str, type_name: str, operation) -> list[KnowledgeSource]:
+        """Instantiate the same KS once per level (paper Figure 5)."""
+        return [
+            self.board.register_ks(
+                f"{name}[{level}]", [self.type_id(type_name, level)], operation
+            )
+            for level in self.levels
+        ]
+
+    def submit_pack(self, payload, size: int | None = None) -> None:
+        """Push an undispatched event pack (as read from a stream)."""
+        self.board.submit(self._inbox_id, payload, size)
+
+    # -- the dispatcher KS ---------------------------------------------------------------
+
+    def _dispatch(self, board: Blackboard, entries: list[DataEntry]) -> None:
+        for entry in entries:
+            level = self._classify(entry)
+            self._check_level(level)
+            board.submit(self._level_pack_ids[level], entry.payload, entry.size)
+            self.dispatched[level] += 1
+
+    def _check_level(self, level: str) -> None:
+        if level not in self._level_pack_ids:
+            raise BlackboardError(f"unknown blackboard level {level!r}")
+
+
+def _classify_by_app_id(levels: list[str]) -> Callable[[DataEntry], str]:
+    """Default classifier: read the pack header's app id, index into levels."""
+
+    def classify(entry: DataEntry) -> str:
+        from repro.instrument.packer import decode_pack
+
+        header, _events = decode_pack(entry.payload)
+        if header.app_id >= len(levels):
+            raise BlackboardError(
+                f"pack app_id {header.app_id} has no level (have {len(levels)})"
+            )
+        return levels[header.app_id]
+
+    return classify

@@ -1,0 +1,84 @@
+"""Worker pool sweeping the job FIFOs (paper Sec. III-B).
+
+Real ``threading`` workers for standalone blackboard use — mirroring the
+paper's Pthread implementation: each worker sweeps the FIFO array from a
+random starting point; an exponential back-off prevents idle threads from
+spinning over the locks in the absence of jobs.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro.errors import BlackboardError
+from repro.blackboard.board import Blackboard
+
+
+class ThreadPool:
+    """Pool of worker threads draining a blackboard's job queues."""
+
+    #: initial back-off sleep when no job is found
+    BACKOFF_MIN = 50e-6
+    #: back-off ceiling
+    BACKOFF_MAX = 2e-3
+
+    def __init__(self, board: Blackboard, nworkers: int = 4, seed: int = 0):
+        if nworkers < 1:
+            raise BlackboardError(f"nworkers must be >= 1, got {nworkers}")
+        self.board = board
+        self.nworkers = nworkers
+        self.seed = seed
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self.jobs_per_worker = [0] * nworkers
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise BlackboardError("thread pool already started")
+        self._started = True
+        for i in range(self.nworkers):
+            t = threading.Thread(
+                target=self._worker_loop, args=(i,), name=f"bb-worker-{i}", daemon=True
+            )
+            self._threads.append(t)
+            t.start()
+
+    def _worker_loop(self, index: int) -> None:
+        rng = random.Random((self.seed << 8) | index)
+        backoff = self.BACKOFF_MIN
+        while not self._stop.is_set():
+            job = self.board.queues.try_pop(start=rng.randrange(self.board.queues.nqueues))
+            if job is not None:
+                self.board.execute(job)
+                self.jobs_per_worker[index] += 1
+                backoff = self.BACKOFF_MIN
+                continue
+            time.sleep(backoff)
+            backoff = min(backoff * 2.0, self.BACKOFF_MAX)
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Wait until the board is idle (all submitted work executed)."""
+        if not self.board.wait_idle(timeout=timeout):
+            raise BlackboardError(f"blackboard did not drain within {timeout}s")
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout=timeout)
+            if t.is_alive():  # pragma: no cover - only on pathological stalls
+                raise BlackboardError(f"worker {t.name} failed to stop")
+        self._threads.clear()
+
+    def __enter__(self) -> "ThreadPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            if not any(exc_info):
+                self.drain()
+        finally:
+            self.stop()

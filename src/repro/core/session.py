@@ -1,0 +1,222 @@
+"""CouplingSession: wire applications + analyzer into one MPMD job.
+
+The session builds the full measurement chain of the paper:
+
+1. every application partition is launched virtualized (its own
+   ``MPI_COMM_WORLD``) with a :class:`StreamingInstrumentation` interceptor
+   attached before its first MPI call;
+2. an ``Analyzer`` partition (sized by the writer/reader *ratio* of paper
+   Figure 14, ``Nr = max(1, floor(Nw / ratio))``) runs the blackboard
+   analysis engine;
+3. after the simulation drains, the analyzer root's report and all
+   bookkeeping are exposed as a :class:`SessionResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.analysis.engine import AnalysisConfig, analyzer_program
+from repro.analysis.report import ProfileReport
+from repro.apps.base import AppKernel
+from repro.instrument.interceptor import StreamingInstrumentation
+from repro.instrument.overhead import InstrumentationCost
+from repro.mpi.world import World
+from repro.network.machine import MachineSpec, TERA100
+from repro.vmpi.virtualization import VirtualizedLauncher
+
+#: reserved partition name of the analysis engine
+ANALYZER_PARTITION = "Analyzer"
+
+
+@dataclass
+class AppRun:
+    """Per-application outcome."""
+
+    name: str
+    nprocs: int
+    walltime: float
+    events: int
+    packs: int
+    modeled_stream_bytes: int
+
+    @property
+    def bi_bandwidth(self) -> float:
+        """Aggregate instrumentation bandwidth Bi = event volume / time."""
+        if self.walltime <= 0:
+            return 0.0
+        return self.modeled_stream_bytes / self.walltime
+
+
+@dataclass
+class SessionResult:
+    """Everything a session run produced."""
+
+    report: ProfileReport | None
+    apps: dict[str, AppRun]
+    analyzer_walltime: float | None
+    analyzer_nprocs: int
+    analyzer_stats: dict[str, Any] | None
+    world: World = field(repr=False, default=None)
+
+    def app(self, name: str) -> AppRun:
+        try:
+            return self.apps[name]
+        except KeyError:
+            raise KeyError(f"no application {name!r} in session result") from None
+
+
+class CouplingSession:
+    """Online instrumentation-analysis coupling of one or more applications."""
+
+    def __init__(
+        self,
+        machine: MachineSpec = TERA100,
+        *,
+        seed: int = 0,
+        instrumentation: InstrumentationCost | None = None,
+        analysis: AnalysisConfig | None = None,
+        mpi_cost=None,
+    ):
+        self.machine = machine
+        self.seed = seed
+        self.mpi_cost = mpi_cost
+        self.instrumentation = instrumentation or InstrumentationCost()
+        self.analysis = analysis or AnalysisConfig(
+            block_size=self.instrumentation.block_size,
+            na_buffers=self.instrumentation.na_buffers,
+        )
+        self._apps: list[tuple[str, AppKernel]] = []
+        self._analyzer_nprocs: int | None = None
+        self._ratio: float | None = None
+
+    # -- configuration ------------------------------------------------------------
+
+    def add_application(self, kernel: AppKernel, name: str | None = None) -> str:
+        """Register an application; returns its partition name."""
+        name = name or kernel.label
+        if name == ANALYZER_PARTITION:
+            raise ConfigError(f"{ANALYZER_PARTITION!r} is reserved for the analyzer")
+        if any(n == name for n, _ in self._apps):
+            raise ConfigError(f"duplicate application name {name!r}")
+        self._apps.append((name, kernel))
+        return name
+
+    def set_analyzer(self, ratio: float | None = None, nprocs: int | None = None) -> int:
+        """Size the analyzer partition.
+
+        Either an explicit rank count or the paper's writer/reader ratio:
+        ``Nr = max(1, floor(Nw / ratio))`` over the total application ranks.
+        """
+        if (ratio is None) == (nprocs is None):
+            raise ConfigError("give exactly one of ratio / nprocs")
+        if nprocs is not None:
+            if nprocs < 1:
+                raise ConfigError("analyzer needs at least one rank")
+            self._analyzer_nprocs = nprocs
+            self._ratio = None
+        else:
+            if ratio <= 0:
+                raise ConfigError(f"ratio must be > 0, got {ratio}")
+            self._ratio = float(ratio)
+            self._analyzer_nprocs = None
+        return self.analyzer_nprocs
+
+    @property
+    def total_app_ranks(self) -> int:
+        return sum(k.nprocs for _n, k in self._apps)
+
+    @property
+    def analyzer_nprocs(self) -> int:
+        if self._analyzer_nprocs is not None:
+            return self._analyzer_nprocs
+        ratio = self._ratio if self._ratio is not None else 1.0
+        return max(1, int(self.total_app_ranks // ratio))
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self) -> SessionResult:
+        """Launch, simulate to completion, collect the report."""
+        if not self._apps:
+            raise ConfigError("no applications added")
+        launcher = VirtualizedLauncher(machine=self.machine, seed=self.seed, cost=self.mpi_cost)
+        instr_registry: dict[str, list[StreamingInstrumentation]] = {
+            name: [] for name, _ in self._apps
+        }
+        for name, kernel in self._apps:
+            launcher.add_program(
+                name,
+                nprocs=kernel.nprocs,
+                main=_instrumented_main,
+                kernel=kernel,
+                cost=self.instrumentation,
+                registry=instr_registry[name],
+            )
+        sink: dict[str, Any] = {}
+        launcher.add_program(
+            ANALYZER_PARTITION,
+            nprocs=self.analyzer_nprocs,
+            main=analyzer_program,
+            config=self.analysis,
+            sink=sink,
+        )
+        world = launcher.run()
+
+        apps: dict[str, AppRun] = {}
+        for name, kernel in self._apps:
+            interceptors = instr_registry[name]
+            apps[name] = AppRun(
+                name=name,
+                nprocs=kernel.nprocs,
+                walltime=world.app_walltime(name),
+                events=sum(i.events_captured for i in interceptors),
+                packs=sum(i.packs_flushed for i in interceptors),
+                modeled_stream_bytes=sum(i.bytes_streamed_modeled for i in interceptors),
+            )
+        return SessionResult(
+            report=sink.get("report"),
+            apps=apps,
+            analyzer_walltime=world.app_walltime(ANALYZER_PARTITION),
+            analyzer_nprocs=self.analyzer_nprocs,
+            analyzer_stats=sink.get("analyzer_stats"),
+            world=world,
+        )
+
+    def run_reference(self) -> SessionResult:
+        """Run the same applications uninstrumented (no analyzer partition)."""
+        if not self._apps:
+            raise ConfigError("no applications added")
+        launcher = VirtualizedLauncher(machine=self.machine, seed=self.seed, cost=self.mpi_cost)
+        for name, kernel in self._apps:
+            launcher.add_program(name, nprocs=kernel.nprocs, main=kernel.main)
+        world = launcher.run()
+        apps = {
+            name: AppRun(
+                name=name,
+                nprocs=kernel.nprocs,
+                walltime=world.app_walltime(name),
+                events=0,
+                packs=0,
+                modeled_stream_bytes=0,
+            )
+            for name, kernel in self._apps
+        }
+        return SessionResult(
+            report=None,
+            apps=apps,
+            analyzer_walltime=None,
+            analyzer_nprocs=0,
+            analyzer_stats=None,
+            world=world,
+        )
+
+
+def _instrumented_main(mpi, kernel: AppKernel, cost: InstrumentationCost, registry: list):
+    """Program wrapper: attach instrumentation, then run the kernel."""
+    interceptor = StreamingInstrumentation(mpi, cost=cost)
+    mpi.ctx.pmpi.attach(interceptor)
+    registry.append(interceptor)
+    result = yield from kernel.main(mpi)
+    return result

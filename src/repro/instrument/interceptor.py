@@ -1,0 +1,156 @@
+"""The streaming instrumentation interceptor (the paper's preloaded library).
+
+Attached to a rank's PMPI stack before its program starts, it:
+
+1. intercepts ``MPI_Init`` — maps the application partition to the analyzer
+   partition (``VMPI_Map``) and opens a write-mode ``VMPI_Stream``;
+2. records every subsequent MPI call as a 40-byte event, charging the
+   capture cost to the application's timeline; when the current pack
+   reaches the block budget it is flushed through the stream — *this write
+   blocks when all asynchronous buffers are full*, which is exactly how
+   analyzer/network backpressure becomes application overhead;
+3. intercepts ``MPI_Finalize`` — flushes the tail pack and closes the
+   stream, so the analyzer sees EOF and can reduce.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import InstrumentationError
+from repro.instrument.overhead import InstrumentationCost
+from repro.instrument.packer import EventPackBuilder
+from repro.mpi.pmpi import CallRecord, Interceptor
+from repro.vmpi.mapping import MapPolicy, ROUND_ROBIN, VMPIMap, map_partitions
+from repro.vmpi.stream import BALANCE_ROUND_ROBIN, VMPIStream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.world import ProgramAPI, RankContext
+
+
+class StreamingInstrumentation(Interceptor):
+    """Per-rank online instrumentation state machine."""
+
+    def __init__(
+        self,
+        mpi: "ProgramAPI",
+        analyzer_partition: str = "Analyzer",
+        cost: InstrumentationCost | None = None,
+        policy: MapPolicy = ROUND_ROBIN,
+        channel: int | None = None,
+    ):
+        self.mpi = mpi
+        self.analyzer_partition = analyzer_partition
+        self.cost = cost or InstrumentationCost()
+        self.policy = policy
+        partition = mpi.partition
+        # All applications share one stream channel: flows are separated on
+        # the analyzer side by the pack header's app id (the multi-level
+        # blackboard dispatch key), not by transport channel.
+        self.channel = 0 if channel is None else channel
+        # Cap the real pack size so the modelled volume (with per-call
+        # context) still fits one stream block.
+        real_capacity = max(4096, int(self.cost.block_size / self.cost.volume_multiplier))
+        self.builder = EventPackBuilder(
+            app_id=partition.index,
+            rank=mpi.rank,
+            capacity_bytes=real_capacity,
+        )
+        self.vmap = VMPIMap()
+        self.stream = VMPIStream(
+            block_size=self.cost.block_size,
+            balance=BALANCE_ROUND_ROBIN,
+            na_buffers=self.cost.na_buffers,
+            channel=self.channel,
+        )
+        self.events_captured = 0
+        self.bytes_streamed_modeled = 0
+        self.packs_flushed = 0
+        self._open = False
+        # CPU accounting is batched: per-event costs accrue as a debt that
+        # is charged to the timeline in quanta, keeping the discrete-event
+        # count proportional to packs rather than events (identical totals).
+        self._cpu_debt = 0.0
+        self._cpu_quantum = max(self.cost.per_event_cpu * 16, 8e-6)
+
+    # -- PMPI hooks ---------------------------------------------------------------
+
+    def on_exit(self, ctx: "RankContext", record: CallRecord):
+        if record.name == "MPI_Init":
+            return self._setup_and_record(record)
+        if record.name == "MPI_Finalize":
+            return self._teardown(record)
+        if not self._open:
+            raise InstrumentationError(
+                f"MPI call {record.name} before MPI_Init on rank {ctx.global_rank}"
+            )
+        return self._capture(record)
+
+    # -- stages -------------------------------------------------------------------
+
+    def _setup_and_record(self, record: CallRecord):
+        """Generator: VMPI mapping + stream opening inside MPI_Init."""
+        mpi = self.mpi
+        analyzer = mpi.partition_by_name(self.analyzer_partition)
+        if analyzer is None:
+            raise InstrumentationError(
+                f"no analyzer partition named {self.analyzer_partition!r}"
+            )
+        yield from map_partitions(mpi, self.vmap, analyzer, policy=self.policy)
+        if not self.vmap.entries:
+            raise InstrumentationError(
+                f"rank {mpi.ctx.global_rank}: empty analyzer mapping"
+            )
+        yield from self.stream.open_map(mpi, self.vmap, "w")
+        self._open = True
+        work = self._capture(record)
+        if isinstance(work, (int, float)):
+            yield mpi.ctx.kernel.timeout(float(work))
+        elif work is not None:
+            yield from work
+
+    def _capture(self, record: CallRecord):
+        """Capture one event; returns a generator only when work is due.
+
+        Returning ``None`` on the fast path (no flush, debt below quantum)
+        lets the PMPI layer skip generator dispatch entirely.
+        """
+        self.events_captured += 1
+        self._cpu_debt += self.cost.per_event_cpu
+        full = self.builder.add(record)
+        if full:
+            return self._charge_and_flush()
+        if self._cpu_debt >= self._cpu_quantum:
+            debt, self._cpu_debt = self._cpu_debt, 0.0
+            return debt
+        return None
+
+    def _charge_and_flush(self):
+        """Generator: settle the CPU debt, then flush the current pack."""
+        debt, self._cpu_debt = self._cpu_debt, 0.0
+        if debt > 0:
+            yield self.mpi.ctx.kernel.timeout(debt)
+        yield from self._flush()
+
+    def _flush(self):
+        if self.builder.count == 0:
+            return
+        blob = self.builder.emit()
+        modeled = self.cost.modeled_bytes(len(blob))
+        modeled = min(modeled, self.stream.block_size)
+        if self.cost.pack_flush_cpu > 0:
+            yield self.mpi.ctx.kernel.timeout(self.cost.pack_flush_cpu)
+        yield from self.stream.write(nbytes=modeled, payload=blob)
+        self.bytes_streamed_modeled += modeled
+        self.packs_flushed += 1
+
+    def _teardown(self, record: CallRecord):
+        """Generator: capture the finalize event, flush the tail, close."""
+        tail = self._capture(record)
+        if isinstance(tail, (int, float)):
+            yield self.mpi.ctx.kernel.timeout(float(tail))
+        elif tail is not None:
+            yield from tail
+        yield from self._charge_and_flush()
+        yield from self.stream.close()
+        self._open = False

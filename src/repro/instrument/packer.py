@@ -1,0 +1,112 @@
+"""Event packs: the ~1 MB blocks travelling through VMPI streams.
+
+Wire layout::
+
+    u32 magic | u16 version | u16 app_id | u32 rank | u32 count | <count records>
+
+``app_id`` is the partition index of the producing application (the
+multi-level blackboard dispatch key), ``rank`` its virtual (per-application)
+rank.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PackFormatError
+from repro.instrument.events import EVENT_RECORD_SIZE, decode_events
+from repro.mpi.pmpi import CallRecord
+from repro.instrument.events import encode_event
+
+_MAGIC = 0x45564E54  # "EVNT"
+_VERSION = 1
+_HEADER_FMT = "<IHHII"
+PACK_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+assert PACK_HEADER_SIZE == 16
+
+
+@dataclass(frozen=True)
+class PackHeader:
+    app_id: int
+    rank: int
+    count: int
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.count * EVENT_RECORD_SIZE
+
+
+class EventPackBuilder:
+    """Accumulates encoded events until the block budget is reached."""
+
+    def __init__(self, app_id: int, rank: int, capacity_bytes: int = 1024 * 1024):
+        min_capacity = PACK_HEADER_SIZE + EVENT_RECORD_SIZE
+        if capacity_bytes < min_capacity:
+            raise PackFormatError(
+                f"pack capacity {capacity_bytes} below minimum {min_capacity}"
+            )
+        if not (0 <= app_id < 2**16):
+            raise PackFormatError(f"app_id {app_id} outside u16")
+        if not (0 <= rank < 2**32):
+            raise PackFormatError(f"rank {rank} outside u32")
+        self.app_id = app_id
+        self.rank = rank
+        self.capacity_bytes = capacity_bytes
+        self.max_records = (capacity_bytes - PACK_HEADER_SIZE) // EVENT_RECORD_SIZE
+        self._records: list[bytes] = []
+        self.total_events = 0
+        self.packs_emitted = 0
+
+    @property
+    def count(self) -> int:
+        return len(self._records)
+
+    @property
+    def full(self) -> bool:
+        return len(self._records) >= self.max_records
+
+    @property
+    def size_bytes(self) -> int:
+        return PACK_HEADER_SIZE + len(self._records) * EVENT_RECORD_SIZE
+
+    def add(self, record: CallRecord) -> bool:
+        """Append one event; returns True when the pack is now full."""
+        self._records.append(encode_event(record))
+        self.total_events += 1
+        return self.full
+
+    def emit(self) -> bytes:
+        """Serialize and reset; empty packs serialize with count == 0."""
+        header = struct.pack(
+            _HEADER_FMT, _MAGIC, _VERSION, self.app_id, self.rank, len(self._records)
+        )
+        blob = header + b"".join(self._records)
+        self._records.clear()
+        self.packs_emitted += 1
+        return blob
+
+
+def decode_pack(blob: bytes | memoryview) -> tuple[PackHeader, np.ndarray]:
+    """Decode one pack into its header and event array.
+
+    Raises :class:`PackFormatError` on bad magic/version/size.
+    """
+    view = memoryview(blob)
+    if len(view) < PACK_HEADER_SIZE:
+        raise PackFormatError(f"pack of {len(view)} bytes shorter than header")
+    magic, version, app_id, rank, count = struct.unpack_from(_HEADER_FMT, view, 0)
+    if magic != _MAGIC:
+        raise PackFormatError(f"bad pack magic {magic:#010x}")
+    if version != _VERSION:
+        raise PackFormatError(f"unsupported pack version {version}")
+    expected = PACK_HEADER_SIZE + count * EVENT_RECORD_SIZE
+    if len(view) != expected:
+        raise PackFormatError(
+            f"pack of {len(view)} bytes, header implies {expected}"
+        )
+    header = PackHeader(app_id=app_id, rank=rank, count=count)
+    events = decode_events(view[PACK_HEADER_SIZE:], count)
+    return header, events

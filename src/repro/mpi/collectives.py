@@ -1,0 +1,190 @@
+"""Collective operations engine.
+
+Collectives synchronize all members of a communicator: the n-th collective
+call on a communicator by each rank belongs to the same operation (matched by
+per-rank sequence numbers, as in MPI).  Once the last participant arrives the
+engine charges the modelled duration (:class:`~repro.mpi.costmodel.CostModel`)
+and releases everyone with the op's data result.
+
+The engine validates what real MPI leaves undefined: mismatched operation
+names or roots across ranks raise :class:`~repro.errors.MPIError` instead of
+silently corrupting the run.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import MPIError
+from repro.simt.primitives import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.communicator import CommGroup
+
+ReduceFn = Callable[[Any, Any], Any]
+
+
+def _default_reduce(a: Any, b: Any) -> Any:
+    return a + b
+
+
+class _PendingOp:
+    """One collective instance accumulating participants."""
+
+    __slots__ = ("op", "root", "contribs", "nbytes_max", "completions", "reduce_fn")
+
+    def __init__(self, op: str, root: int, reduce_fn: ReduceFn | None):
+        self.op = op
+        self.root = root
+        self.contribs: dict[int, Any] = {}
+        self.nbytes_max = 0
+        self.completions: dict[int, SimEvent] = {}
+        self.reduce_fn = reduce_fn
+
+
+class CollectiveEngine:
+    """Per-communicator matcher and completer for collective calls."""
+
+    def __init__(self, group: "CommGroup"):
+        self.group = group
+        self._ops: dict[int, _PendingOp] = {}
+        self.completed_ops = 0
+
+    def join(
+        self,
+        comm_rank: int,
+        seq: int,
+        op: str,
+        nbytes: int,
+        root: int = 0,
+        payload: Any = None,
+        reduce_fn: ReduceFn | None = None,
+    ) -> SimEvent:
+        """Register a participant; returns its completion event."""
+        group = self.group
+        if comm_rank in self._ops.get(seq, _PendingOp("", 0, None)).completions:
+            raise MPIError(f"rank {comm_rank} joined collective #{seq} twice")
+        pending = self._ops.get(seq)
+        if pending is None:
+            pending = _PendingOp(op, root, reduce_fn)
+            self._ops[seq] = pending
+        else:
+            if pending.op != op:
+                raise MPIError(
+                    f"collective mismatch on {group.label}#{seq}: "
+                    f"{pending.op!r} vs {op!r} (rank {comm_rank})"
+                )
+            if pending.root != root:
+                raise MPIError(
+                    f"root mismatch on {group.label}#{seq} ({op}): "
+                    f"{pending.root} vs {root} (rank {comm_rank})"
+                )
+            if reduce_fn is not None and pending.reduce_fn is None:
+                pending.reduce_fn = reduce_fn
+        pending.contribs[comm_rank] = payload
+        if nbytes > pending.nbytes_max:
+            pending.nbytes_max = nbytes
+        kernel = group.world.kernel
+        completion = SimEvent(kernel, name=f"{op}@{group.label}#{seq}")
+        pending.completions[comm_rank] = completion
+        if len(pending.completions) == group.size:
+            self._finish(seq, pending)
+        return completion
+
+    def _finish(self, seq: int, pending: _PendingOp) -> None:
+        group = self.group
+        del self._ops[seq]
+        self.completed_ops += 1
+        cost = group.world.cost.collective_cost(pending.op, group.size, pending.nbytes_max)
+        results = _compute_results(pending, group.size)
+        kernel = group.world.kernel
+        tick = kernel.timeout(cost)
+
+        def _release(_ev: SimEvent) -> None:
+            for rank, completion in pending.completions.items():
+                completion.succeed(results[rank])
+
+        tick.add_callback(_release)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._ops)
+
+
+def _fold(values: list[Any], reduce_fn: ReduceFn | None) -> Any:
+    fn = reduce_fn or _default_reduce
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    acc = present[0]
+    for value in present[1:]:
+        acc = fn(acc, value)
+    return acc
+
+
+def _compute_results(pending: _PendingOp, size: int) -> dict[int, Any]:
+    """Per-rank data results once all contributions are in."""
+    op, root = pending.op, pending.root
+    contribs = pending.contribs
+    ordered = [contribs.get(r) for r in range(size)]
+    if op == "barrier":
+        return {r: None for r in range(size)}
+    if op == "bcast":
+        value = contribs.get(root)
+        return {r: value for r in range(size)}
+    if op == "reduce":
+        folded = _fold(ordered, pending.reduce_fn)
+        return {r: (folded if r == root else None) for r in range(size)}
+    if op in ("allreduce", "reduce_scatter"):
+        folded = _fold(ordered, pending.reduce_fn)
+        return {r: folded for r in range(size)}
+    if op == "gather":
+        return {r: (list(ordered) if r == root else None) for r in range(size)}
+    if op == "allgather":
+        snapshot = list(ordered)
+        return {r: snapshot for r in range(size)}
+    if op == "scatter":
+        chunks = contribs.get(root)
+        if chunks is not None:
+            if not isinstance(chunks, (list, tuple)) or len(chunks) != size:
+                raise MPIError(
+                    f"scatter payload at root must be a sequence of {size} items"
+                )
+            return {r: chunks[r] for r in range(size)}
+        return {r: None for r in range(size)}
+    if op == "alltoall":
+        out: dict[int, Any] = {}
+        for r in range(size):
+            row = []
+            for src in range(size):
+                chunk = ordered[src]
+                if chunk is None:
+                    row.append(None)
+                elif not isinstance(chunk, (list, tuple)) or len(chunk) != size:
+                    raise MPIError(
+                        f"alltoall payload of rank {src} must be a sequence of {size}"
+                    )
+                else:
+                    row.append(chunk[r])
+            out[r] = row
+        return out
+    raise MPIError(f"unknown collective op {op!r}")
+
+
+def numeric_min(a: Any, b: Any) -> Any:
+    """Reduce function for ``op=min`` on numbers or numpy arrays."""
+    if isinstance(a, numbers.Number) and isinstance(b, numbers.Number):
+        return min(a, b)
+    import numpy as np
+
+    return np.minimum(a, b)
+
+
+def numeric_max(a: Any, b: Any) -> Any:
+    """Reduce function for ``op=max`` on numbers or numpy arrays."""
+    if isinstance(a, numbers.Number) and isinstance(b, numbers.Number):
+        return max(a, b)
+    import numpy as np
+
+    return np.maximum(a, b)

@@ -1,0 +1,442 @@
+"""Communicators: shared groups and per-rank views.
+
+:class:`CommGroup` is the shared state of a communicator (member list,
+collective engine).  :class:`Comm` is the handle a specific rank holds —
+its methods are generators driven by that rank's process.  All byte counts
+are explicit (``nbytes``); optional ``payload`` objects ride along for
+convenience (the VMPI layer ships real event packs this way).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import CommunicatorError, MPIError
+from repro.mpi.collectives import CollectiveEngine
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
+from repro.mpi.message import Envelope
+from repro.mpi.request import Request, waitall as _waitall
+from repro.mpi.status import Status
+from repro.simt.primitives import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.world import RankContext, World
+
+
+class CommGroup:
+    """Shared communicator state: ordered global ranks + collective engine."""
+
+    def __init__(self, world: "World", global_ranks: tuple[int, ...], label: str):
+        if len(set(global_ranks)) != len(global_ranks):
+            raise CommunicatorError(f"duplicate ranks in group {label}")
+        self.world = world
+        self.global_ranks = tuple(global_ranks)
+        self.label = label
+        self.id = world._register_group(self)
+        self.rank_of_global = {g: i for i, g in enumerate(self.global_ranks)}
+        self.coll = CollectiveEngine(self)
+
+    @property
+    def size(self) -> int:
+        return len(self.global_ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CommGroup {self.label} id={self.id} size={self.size}>"
+
+
+class Comm:
+    """One rank's handle on a communicator.  All methods are generators."""
+
+    def __init__(self, group: CommGroup, rank: int, ctx: "RankContext"):
+        if not (0 <= rank < group.size):
+            raise CommunicatorError(f"rank {rank} outside group of {group.size}")
+        self.group = group
+        self.rank = rank
+        self.ctx = ctx
+        self._coll_seq = 0
+
+    # -- basic properties ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    @property
+    def id(self) -> int:
+        return self.group.id
+
+    @property
+    def label(self) -> str:
+        return self.group.label
+
+    def global_rank_of(self, rank: int) -> int:
+        if not (0 <= rank < self.size):
+            raise CommunicatorError(
+                f"rank {rank} outside communicator {self.label} of size {self.size}"
+            )
+        return self.group.global_ranks[rank]
+
+    # -- point-to-point -------------------------------------------------------------
+
+    def isend(self, dest: int, nbytes: int, tag: int = 0, payload: Any = None):
+        """Generator: start a non-blocking send; returns a Request."""
+        impl = self._isend_impl(dest, nbytes, tag, payload)
+        req = yield from self.ctx.pmpi.around(
+            "MPI_Isend",
+            impl,
+            comm_id=self.id,
+            comm_rank=self.rank,
+            comm_size=self.size,
+            peer=dest,
+            tag=tag,
+            nbytes=nbytes,
+        )
+        return req
+
+    def send(self, dest: int, nbytes: int, tag: int = 0, payload: Any = None):
+        """Generator: blocking send (completes per eager/rendezvous rules)."""
+        impl = self._send_impl(dest, nbytes, tag, payload)
+        yield from self.ctx.pmpi.around(
+            "MPI_Send",
+            impl,
+            comm_id=self.id,
+            comm_rank=self.rank,
+            comm_size=self.size,
+            peer=dest,
+            tag=tag,
+            nbytes=nbytes,
+        )
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator: post a non-blocking receive; returns a Request."""
+        impl = self._irecv_impl(source, tag)
+        req = yield from self.ctx.pmpi.around(
+            "MPI_Irecv",
+            impl,
+            comm_id=self.id,
+            comm_rank=self.rank,
+            comm_size=self.size,
+            peer=source,
+            tag=tag,
+            nbytes=0,
+        )
+        return req
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator: blocking receive; returns the matched Status."""
+        impl = self._recv_impl(source, tag)
+        status = yield from self.ctx.pmpi.around(
+            "MPI_Recv",
+            impl,
+            comm_id=self.id,
+            comm_rank=self.rank,
+            comm_size=self.size,
+            peer=source,
+            tag=tag,
+            post=lambda st: {"peer": st.source, "nbytes": st.nbytes, "tag": st.tag},
+        )
+        return status
+
+    def sendrecv(
+        self,
+        dest: int,
+        send_nbytes: int,
+        source: int = ANY_SOURCE,
+        tag: int = 0,
+        recv_tag: int | None = None,
+        payload: Any = None,
+    ):
+        """Generator: combined send+receive; returns the receive Status."""
+
+        def _impl():
+            send_req = yield from self._raw_isend(dest, send_nbytes, tag, payload)
+            recv_ev = self.ctx.mailbox.post(
+                self.id,
+                source,
+                tag if recv_tag is None else recv_tag,
+                self.ctx.world.cost.o_recv,
+            )
+            status = yield recv_ev
+            yield send_req.event
+            return status
+
+        status = yield from self.ctx.pmpi.around(
+            "MPI_Sendrecv",
+            _impl(),
+            comm_id=self.id,
+            comm_rank=self.rank,
+            comm_size=self.size,
+            peer=dest,
+            tag=tag,
+            nbytes=send_nbytes,
+        )
+        return status
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator: non-blocking probe; returns Status or None."""
+
+        def _impl():
+            yield self.ctx.kernel.timeout(0.0)
+            env = self.ctx.mailbox.probe(self.id, source, tag)
+            if env is None:
+                return None
+            return Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
+
+        result = yield from self.ctx.pmpi.around(
+            "MPI_Iprobe",
+            _impl(),
+            comm_id=self.id,
+            comm_rank=self.rank,
+            comm_size=self.size,
+            peer=source,
+            tag=tag,
+        )
+        return result
+
+    # -- p2p implementations ----------------------------------------------------------
+
+    def _raw_isend(self, dest: int, nbytes: int, tag: int, payload: Any):
+        """Generator: the un-intercepted isend machinery."""
+        if nbytes < 0:
+            raise MPIError(f"negative message size: {nbytes}")
+        ctx = self.ctx
+        cost = ctx.world.cost
+        kernel = ctx.kernel
+        g_src = self.global_rank_of(self.rank)
+        g_dst = self.global_rank_of(dest)
+        eager = nbytes <= cost.eager_threshold
+        # Sender CPU: the send overhead, plus the copy into MPI buffering on
+        # the eager path — charged as one timeout.
+        cpu = cost.o_send + (nbytes / cost.eager_copy_bandwidth if eager else 0.0)
+        yield kernel.timeout(cpu)
+        arrival = ctx.world.cluster.transfer(g_src, g_dst, nbytes)
+        match_event: SimEvent | None = None
+        if eager:
+            completion = SimEvent(kernel, name="isend.eager")
+            completion.succeed()
+        else:
+            match_event = SimEvent(kernel, name="isend.match")
+            completion = kernel.all_of([match_event, arrival])
+        env = Envelope(
+            comm_id=self.id,
+            src=self.rank,
+            tag=tag,
+            nbytes=nbytes,
+            payload=payload,
+            arrival=arrival,
+            match_event=match_event,
+        )
+        ctx.world.ranks[g_dst].mailbox.deliver(env)
+        return Request(kernel, completion, "send")
+
+    def _isend_impl(self, dest: int, nbytes: int, tag: int, payload: Any):
+        req = yield from self._raw_isend(dest, nbytes, tag, payload)
+        return req
+
+    def _send_impl(self, dest: int, nbytes: int, tag: int, payload: Any):
+        req = yield from self._raw_isend(dest, nbytes, tag, payload)
+        yield req.event
+
+    def _irecv_impl(self, source: int, tag: int):
+        completion = self.ctx.mailbox.post(
+            self.id, source, tag, self.ctx.world.cost.o_recv
+        )
+        return Request(self.ctx.kernel, completion, "recv")
+        yield  # pragma: no cover - keeps this function a generator
+
+    def _recv_impl(self, source: int, tag: int):
+        completion = self.ctx.mailbox.post(
+            self.id, source, tag, self.ctx.world.cost.o_recv
+        )
+        status = yield completion
+        return status
+
+    # -- collectives -----------------------------------------------------------------
+
+    def _collective(
+        self,
+        mpi_name: str,
+        op: str,
+        nbytes: int,
+        root: int = 0,
+        payload: Any = None,
+        reduce_fn: Callable | None = None,
+    ):
+        if not (0 <= root < self.size):
+            raise CommunicatorError(f"root {root} outside {self.label}")
+        seq = self._coll_seq
+        self._coll_seq += 1
+
+        def _impl():
+            completion = self.group.coll.join(
+                self.rank, seq, op, nbytes, root=root, payload=payload, reduce_fn=reduce_fn
+            )
+            result = yield completion
+            return result
+
+        result = yield from self.ctx.pmpi.around(
+            mpi_name,
+            _impl(),
+            comm_id=self.id,
+            comm_rank=self.rank,
+            comm_size=self.size,
+            peer=-1,
+            tag=-1,
+            nbytes=nbytes,
+        )
+        return result
+
+    def barrier(self):
+        """Generator: synchronize all ranks of the communicator."""
+        yield from self._collective("MPI_Barrier", "barrier", 0)
+
+    def bcast(self, nbytes: int, root: int = 0, payload: Any = None):
+        """Generator: broadcast; returns root's payload on every rank."""
+        result = yield from self._collective("MPI_Bcast", "bcast", nbytes, root, payload)
+        return result
+
+    def reduce(self, nbytes: int, root: int = 0, payload: Any = None, reduce_fn=None):
+        """Generator: reduce to root; returns folded payload at root else None."""
+        result = yield from self._collective(
+            "MPI_Reduce", "reduce", nbytes, root, payload, reduce_fn
+        )
+        return result
+
+    def allreduce(self, nbytes: int, payload: Any = None, reduce_fn=None):
+        """Generator: allreduce; returns folded payload on every rank."""
+        result = yield from self._collective(
+            "MPI_Allreduce", "allreduce", nbytes, 0, payload, reduce_fn
+        )
+        return result
+
+    def gather(self, nbytes: int, root: int = 0, payload: Any = None):
+        """Generator: gather; returns rank-ordered list at root else None."""
+        result = yield from self._collective("MPI_Gather", "gather", nbytes, root, payload)
+        return result
+
+    def allgather(self, nbytes: int, payload: Any = None):
+        """Generator: allgather; returns rank-ordered list on every rank."""
+        result = yield from self._collective("MPI_Allgather", "allgather", nbytes, 0, payload)
+        return result
+
+    def scatter(self, nbytes: int, root: int = 0, payload: Any = None):
+        """Generator: scatter; root passes a list, each rank gets its item."""
+        result = yield from self._collective("MPI_Scatter", "scatter", nbytes, root, payload)
+        return result
+
+    def alltoall(self, nbytes: int, payload: Any = None):
+        """Generator: all-to-all; ``nbytes`` is the per-pair chunk size."""
+        result = yield from self._collective("MPI_Alltoall", "alltoall", nbytes, 0, payload)
+        return result
+
+    def reduce_scatter(self, nbytes: int, payload: Any = None, reduce_fn=None):
+        """Generator: reduce-scatter (folded result delivered to every rank)."""
+        result = yield from self._collective(
+            "MPI_Reduce_scatter", "reduce_scatter", nbytes, 0, payload, reduce_fn
+        )
+        return result
+
+    # -- wait operations (intercepted: profilers track time in waits) ----------------
+
+    def wait(self, request: Request):
+        """Generator: MPI_Wait on one request; returns its Status (or None)."""
+        result = yield from self.ctx.pmpi.around(
+            "MPI_Wait",
+            request.wait(),
+            comm_id=self.id,
+            comm_rank=self.rank,
+            comm_size=self.size,
+            post=lambda st: (
+                {"peer": st.source, "nbytes": st.nbytes, "tag": st.tag}
+                if isinstance(st, Status)
+                else {}
+            ),
+        )
+        return result
+
+    def waitall(self, requests: list[Request]):
+        """Generator: MPI_Waitall; returns the list of statuses."""
+        total = sum(
+            (r.event.value.nbytes if isinstance(r.event.value, Status) else 0)
+            for r in requests
+        )
+
+        def _post(statuses):
+            nbytes = sum(st.nbytes for st in statuses if isinstance(st, Status))
+            return {"nbytes": nbytes}
+
+        result = yield from self.ctx.pmpi.around(
+            "MPI_Waitall",
+            _waitall(self.ctx.kernel, requests),
+            comm_id=self.id,
+            comm_rank=self.rank,
+            comm_size=self.size,
+            nbytes=total,
+            post=_post,
+        )
+        return result
+
+    # -- communicator management -------------------------------------------------------
+
+    def split(self, color: int | None, key: int | None = None):
+        """Generator: MPI_Comm_split; returns the new Comm (None if color<0)."""
+        sort_key = self.rank if key is None else key
+        seq = self._coll_seq
+        self._coll_seq += 1
+
+        def _impl():
+            completion = self.group.coll.join(
+                self.rank,
+                seq,
+                "allgather",
+                nbytes=12,
+                payload=(color, sort_key, self.rank),
+            )
+            triples = yield completion
+            if color is None or color < 0:
+                return None
+            mine = sorted((k, r) for (c, k, r) in triples if c == color)
+            members = tuple(self.global_rank_of(r) for _k, r in mine)
+            group = self.ctx.world.intern_group(
+                members,
+                f"{self.label}/split{color}",
+                key=(self.id, "split", seq, color),
+            )
+            new_rank = members.index(self.global_rank_of(self.rank))
+            return Comm(group, new_rank, self.ctx)
+
+        result = yield from self.ctx.pmpi.around(
+            "MPI_Comm_split",
+            _impl(),
+            comm_id=self.id,
+            comm_rank=self.rank,
+            comm_size=self.size,
+        )
+        return result
+
+    def dup(self):
+        """Generator: MPI_Comm_dup; returns a new Comm over the same group."""
+        seq = self._coll_seq
+        self._coll_seq += 1
+
+        def _impl():
+            completion = self.group.coll.join(self.rank, seq, "barrier", nbytes=0)
+            yield completion
+            group = self.ctx.world.intern_group(
+                self.group.global_ranks,
+                f"{self.label}/dup",
+                key=(self.id, "dup", seq),
+            )
+            return Comm(group, self.rank, self.ctx)
+
+        result = yield from self.ctx.pmpi.around(
+            "MPI_Comm_dup",
+            _impl(),
+            comm_id=self.id,
+            comm_rank=self.rank,
+            comm_size=self.size,
+        )
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Comm {self.label} rank={self.rank}/{self.size}>"

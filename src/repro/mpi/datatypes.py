@@ -1,0 +1,41 @@
+"""MPI datatypes and wildcard constants.
+
+The simulation transfers byte counts, but profiling reports speak in typed
+element counts, so the common predefined datatypes are kept around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Wildcard source for receives.
+ANY_SOURCE = -1
+#: Wildcard tag for receives.
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A predefined MPI datatype: a name and an extent in bytes."""
+
+    name: str
+    size: int
+
+    def count_bytes(self, count: int) -> int:
+        if count < 0:
+            raise ValueError(f"negative element count: {count}")
+        return count * self.size
+
+    def __str__(self) -> str:
+        return self.name
+
+
+BYTE = Datatype("MPI_BYTE", 1)
+CHAR = Datatype("MPI_CHAR", 1)
+INT = Datatype("MPI_INT", 4)
+FLOAT = Datatype("MPI_FLOAT", 4)
+LONG = Datatype("MPI_LONG", 8)
+DOUBLE = Datatype("MPI_DOUBLE", 8)
+COMPLEX = Datatype("MPI_COMPLEX", 16)
+
+PREDEFINED = {d.name: d for d in (BYTE, CHAR, INT, FLOAT, LONG, DOUBLE, COMPLEX)}

@@ -1,0 +1,166 @@
+"""Message envelopes and tag/source matching.
+
+Every rank owns a :class:`Mailbox`.  Senders *deliver* an
+:class:`Envelope` at send time (zero matching latency — payload timing is
+carried separately by the envelope's arrival event); receivers *post*
+receives.  Matching is FIFO per communicator with MPI wildcard semantics
+(``ANY_SOURCE`` / ``ANY_TAG``), which preserves the MPI non-overtaking
+guarantee because envelope delivery order follows simulated program order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import MPIError
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
+from repro.mpi.status import Status
+from repro.simt.primitives import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.kernel import Kernel
+
+_seq_counter = itertools.count()
+
+
+class Envelope:
+    """One in-flight point-to-point message (metadata + optional payload)."""
+
+    __slots__ = (
+        "comm_id",
+        "src",
+        "tag",
+        "nbytes",
+        "payload",
+        "seq",
+        "arrival",
+        "match_event",
+        "matched",
+    )
+
+    def __init__(
+        self,
+        comm_id: int,
+        src: int,
+        tag: int,
+        nbytes: int,
+        payload: Any,
+        arrival: SimEvent,
+        match_event: SimEvent | None,
+    ):
+        self.comm_id = comm_id
+        self.src = src
+        self.tag = tag
+        self.nbytes = nbytes
+        self.payload = payload
+        self.seq = next(_seq_counter)
+        #: Event fired when the payload has fully arrived at the destination.
+        self.arrival = arrival
+        #: Event fired when a receive matches (rendezvous send completion).
+        self.match_event = match_event
+        self.matched = False
+
+
+class PostedRecv:
+    """A receive waiting for a matching envelope."""
+
+    __slots__ = ("src", "tag", "completion", "o_recv")
+
+    def __init__(self, src: int, tag: int, completion: SimEvent, o_recv: float):
+        self.src = src
+        self.tag = tag
+        self.completion = completion
+        self.o_recv = o_recv
+
+    def matches(self, env: Envelope) -> bool:
+        if self.src != ANY_SOURCE and self.src != env.src:
+            return False
+        if self.tag != ANY_TAG and self.tag != env.tag:
+            return False
+        return True
+
+
+class Mailbox:
+    """Per-rank matching structure, segregated by communicator id."""
+
+    def __init__(self, kernel: "Kernel", owner_rank: int):
+        self.kernel = kernel
+        self.owner_rank = owner_rank
+        self._unexpected: dict[int, deque[Envelope]] = {}
+        self._posted: dict[int, deque[PostedRecv]] = {}
+        self.delivered = 0
+        self.unexpected_peak = 0
+
+    # -- sender side --------------------------------------------------------------
+
+    def deliver(self, env: Envelope) -> None:
+        """Offer an envelope for matching (called at send time)."""
+        self.delivered += 1
+        posted = self._posted.get(env.comm_id)
+        if posted:
+            for i, recv in enumerate(posted):
+                if recv.matches(env):
+                    del posted[i]
+                    self._complete(recv, env)
+                    return
+        queue = self._unexpected.setdefault(env.comm_id, deque())
+        queue.append(env)
+        total = sum(len(q) for q in self._unexpected.values())
+        if total > self.unexpected_peak:
+            self.unexpected_peak = total
+
+    # -- receiver side -------------------------------------------------------------
+
+    def post(self, comm_id: int, src: int, tag: int, o_recv: float) -> SimEvent:
+        """Post a receive; returns its completion event (value = Status)."""
+        completion = SimEvent(self.kernel, name=f"recv@r{self.owner_rank}")
+        recv = PostedRecv(src, tag, completion, o_recv)
+        queue = self._unexpected.get(comm_id)
+        if queue:
+            for i, env in enumerate(queue):
+                if recv.matches(env):
+                    del queue[i]
+                    self._complete(recv, env)
+                    return completion
+        self._posted.setdefault(comm_id, deque()).append(recv)
+        return completion
+
+    def probe(self, comm_id: int, src: int, tag: int) -> Envelope | None:
+        """Non-destructive match against the unexpected queue (``MPI_Iprobe``)."""
+        queue = self._unexpected.get(comm_id)
+        if not queue:
+            return None
+        template = PostedRecv(src, tag, None, 0.0)  # type: ignore[arg-type]
+        for env in queue:
+            if template.matches(env):
+                return env
+        return None
+
+    # -- internals -------------------------------------------------------------------
+
+    def _complete(self, recv: PostedRecv, env: Envelope) -> None:
+        if env.matched:
+            raise MPIError("envelope matched twice (matching bug)")
+        env.matched = True
+        if env.match_event is not None and not env.match_event.triggered:
+            env.match_event.succeed()
+
+        def _arrived(_ev: SimEvent) -> None:
+            status = Status(
+                source=env.src, tag=env.tag, nbytes=env.nbytes, payload=env.payload
+            )
+            if recv.o_recv > 0:
+                tick = self.kernel.timeout(recv.o_recv)
+                tick.add_callback(lambda _t: recv.completion.succeed(status))
+            else:
+                recv.completion.succeed(status)
+
+        env.arrival.add_callback(_arrived)
+
+    def pending_counts(self) -> tuple[int, int]:
+        """(unexpected envelopes, posted receives) across communicators."""
+        unexpected = sum(len(q) for q in self._unexpected.values())
+        posted = sum(len(q) for q in self._posted.values())
+        return unexpected, posted

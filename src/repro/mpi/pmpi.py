@@ -1,0 +1,147 @@
+"""PMPI-style interception.
+
+The paper generates its virtualization and instrumentation layers with an
+MPI wrapper generator over the PMPI profiling interface.  Here every
+simulated MPI call runs through a :class:`PMPIStack`: a stack of
+:class:`Interceptor` objects that observe the call, may charge extra CPU
+time (instrumentation overhead), and may run blocking work (flushing a full
+event pack through a stream exerts backpressure on the application — the
+paper's central overhead mechanism).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.world import RankContext
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """What an interceptor sees about one completed MPI call."""
+
+    name: str
+    t_start: float
+    t_end: float
+    comm_id: int
+    comm_rank: int
+    comm_size: int
+    peer: int  # destination / matched source; -1 for collectives
+    tag: int  # -1 when not applicable
+    nbytes: int
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class Interceptor:
+    """Base interceptor; subclass and override the hooks you need.
+
+    ``on_enter`` / ``on_exit`` may return ``None`` (free), a float (CPU
+    seconds charged to the calling rank), or a generator (driven to
+    completion on the calling rank's timeline — use this for blocking work
+    such as stream writes).
+    """
+
+    def on_enter(self, ctx: "RankContext", name: str) -> Any:
+        return None
+
+    def on_exit(self, ctx: "RankContext", record: CallRecord) -> Any:
+        return None
+
+    def on_attach(self, ctx: "RankContext") -> None:
+        """Called when the interceptor is installed on a rank."""
+
+    def on_detach(self, ctx: "RankContext") -> None:
+        """Called when the rank's program finalizes."""
+
+
+class PMPIStack:
+    """Ordered interceptor stack for one rank."""
+
+    __slots__ = ("ctx", "interceptors", "calls_seen")
+
+    def __init__(self, ctx: "RankContext"):
+        self.ctx = ctx
+        self.interceptors: list[Interceptor] = []
+        self.calls_seen = 0
+
+    def attach(self, interceptor: Interceptor) -> None:
+        self.interceptors.append(interceptor)
+        interceptor.on_attach(self.ctx)
+
+    def detach_all(self) -> None:
+        for interceptor in self.interceptors:
+            interceptor.on_detach(self.ctx)
+        self.interceptors.clear()
+
+    @property
+    def active(self) -> bool:
+        return bool(self.interceptors)
+
+    def around(
+        self,
+        name: str,
+        impl,
+        *,
+        comm_id: int = -1,
+        comm_rank: int = -1,
+        comm_size: int = 0,
+        peer: int = -1,
+        tag: int = -1,
+        nbytes: int = 0,
+        post=None,
+    ):
+        """Generator: run ``impl`` (a generator) under the interceptors.
+
+        ``post(result)`` may return a dict overriding record fields that are
+        only known after completion (matched source, actual byte count of a
+        wildcard receive, ...).
+        """
+        if not self.interceptors:
+            result = yield from impl
+            return result
+        self.calls_seen += 1
+        kernel = self.ctx.kernel
+        for interceptor in self.interceptors:
+            yield from _drive(kernel, interceptor.on_enter(self.ctx, name))
+        t_start = kernel.now
+        result = yield from impl
+        fields = {
+            "name": name,
+            "t_start": t_start,
+            "t_end": kernel.now,
+            "comm_id": comm_id,
+            "comm_rank": comm_rank,
+            "comm_size": comm_size,
+            "peer": peer,
+            "tag": tag,
+            "nbytes": nbytes,
+        }
+        if post is not None:
+            fields.update(post(result))
+        record = CallRecord(**fields)
+        for interceptor in self.interceptors:
+            yield from _drive(kernel, interceptor.on_exit(self.ctx, record))
+        return result
+
+
+def _drive(kernel, hook_result):
+    """Generator: interpret a hook's return value (None / float / generator)."""
+    if hook_result is None:
+        return
+    if isinstance(hook_result, (int, float)):
+        if hook_result > 0:
+            yield kernel.timeout(float(hook_result))
+        return
+    if inspect.isgenerator(hook_result):
+        yield from hook_result
+        return
+    raise TypeError(
+        f"interceptor hook returned {type(hook_result).__name__}; "
+        "expected None, seconds, or a generator"
+    )

@@ -1,0 +1,23 @@
+"""Flow-level network and machine model.
+
+Models the two evaluation platforms of the paper (Tera 100 and Curie) as a
+set of per-node full-duplex NIC *pipes* plus intra-node memory pipes.  A
+message transfer commits bytes to the source node's egress pipe and the
+destination node's ingress pipe; it completes when both are done, plus the
+inter-node latency.  Contention (many ranks per NIC, many-to-one incast)
+emerges from pipe serialization.
+"""
+
+from repro.network.machine import MachineSpec, TERA100, CURIE, MACHINES
+from repro.network.cluster import Cluster, Placement
+from repro.network.fattree import FatTree
+
+__all__ = [
+    "MachineSpec",
+    "TERA100",
+    "CURIE",
+    "MACHINES",
+    "Cluster",
+    "Placement",
+    "FatTree",
+]

@@ -1,0 +1,157 @@
+"""Job-scoped cluster instance: placement + per-node pipes + transfers.
+
+A :class:`Cluster` is built for one simulated job: the launcher places ranks
+on nodes (block placement, one rank per core, exactly as Slurm would for an
+MPMD job description), then each *used* node gets an egress and an ingress
+:class:`~repro.simt.resources.Pipe` whose bandwidth reflects how many ranks
+share the NIC (see :meth:`MachineSpec.nic_effective_bandwidth`).
+
+``transfer(src_rank, dst_rank, nbytes)`` returns a simulation event that
+fires when the message's payload would have fully arrived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.network.fattree import FatTree
+from repro.network.machine import MachineSpec
+from repro.simt import Kernel, Pipe
+from repro.simt.primitives import SimEvent
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where each global rank lives."""
+
+    node_of_rank: tuple[int, ...]
+    ranks_per_node: dict[int, int]
+
+    @property
+    def nranks(self) -> int:
+        return len(self.node_of_rank)
+
+    @property
+    def nodes_used(self) -> int:
+        return len(self.ranks_per_node)
+
+
+def block_placement(nranks: int, machine: MachineSpec) -> Placement:
+    """Fill nodes sequentially, one rank per core (standard batch placement)."""
+    if nranks <= 0:
+        raise ConfigError(f"placement needs nranks > 0, got {nranks}")
+    cpn = machine.cores_per_node
+    needed_nodes = -(-nranks // cpn)
+    if needed_nodes > machine.nodes:
+        raise ConfigError(
+            f"job of {nranks} ranks needs {needed_nodes} nodes; "
+            f"{machine.name} has {machine.nodes}"
+        )
+    node_of_rank = tuple(r // cpn for r in range(nranks))
+    per_node: dict[int, int] = {}
+    for node in node_of_rank:
+        per_node[node] = per_node.get(node, 0) + 1
+    return Placement(node_of_rank=node_of_rank, ranks_per_node=per_node)
+
+
+class Cluster:
+    """Simulated allocation of a machine for one job."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        machine: MachineSpec,
+        nranks: int,
+        placement: Placement | None = None,
+    ):
+        self.kernel = kernel
+        self.machine = machine
+        self.placement = placement or block_placement(nranks, machine)
+        if self.placement.nranks != nranks:
+            raise ConfigError(
+                f"placement covers {self.placement.nranks} ranks, job has {nranks}"
+            )
+        self.nranks = nranks
+        self.topology = FatTree(machine.nodes)
+        # Per used node: (egress pipe, ingress pipe).  NIC bandwidth is set
+        # from the static per-node rank count (flow-level approximation).
+        self._nic: dict[int, tuple[Pipe, Pipe]] = {}
+        self._mem: dict[int, Pipe] = {}
+        for node, count in self.placement.ranks_per_node.items():
+            bw = machine.nic_effective_bandwidth(count)
+            self._nic[node] = (
+                Pipe(kernel, bw, name=f"node{node}.out"),
+                Pipe(kernel, bw, name=f"node{node}.in"),
+            )
+            self._mem[node] = Pipe(
+                kernel, machine.intra_node_bandwidth, name=f"node{node}.mem"
+            )
+        # Cross-leaf traffic shares the job's effective bisection capacity.
+        self._bisection = Pipe(
+            kernel,
+            machine.bisection_bandwidth(self.placement.nodes_used),
+            name="bisection",
+        )
+        self.bytes_internode = 0
+        self.bytes_intranode = 0
+        self.bytes_crossleaf = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def node_of(self, rank: int) -> int:
+        if not (0 <= rank < self.nranks):
+            raise ConfigError(f"rank {rank} outside job of {self.nranks}")
+        return self.placement.node_of_rank[rank]
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def latency(self, src: int, dst: int) -> float:
+        src_n, dst_n = self.node_of(src), self.node_of(dst)
+        if src_n == dst_n:
+            return self.machine.intra_node_latency
+        # Per-hop share of the end-to-end budget; 4 hops is the common case.
+        per_hop = self.machine.nic_latency / 4.0
+        return self.topology.latency(src_n, dst_n, per_hop, base=self.machine.nic_latency)
+
+    # -- data movement -----------------------------------------------------------
+
+    def transfer(self, src: int, dst: int, nbytes: int) -> SimEvent:
+        """Event firing when ``nbytes`` from ``src`` has arrived at ``dst``.
+
+        Pipes are deterministic FIFO channels, so the completion instant is
+        known at commit time: one timeout covers egress + ingress + latency.
+        """
+        if nbytes < 0:
+            raise ConfigError(f"negative transfer: {nbytes}")
+        src_n, dst_n = self.node_of(src), self.node_of(dst)
+        lat = self.latency(src, dst)
+        if src_n == dst_n:
+            self.bytes_intranode += nbytes
+            done = self._mem[src_n].commit(nbytes)
+        else:
+            self.bytes_internode += nbytes
+            out_pipe, _ = self._nic[src_n]
+            _, in_pipe = self._nic[dst_n]
+            done = max(out_pipe.commit(nbytes), in_pipe.commit(nbytes))
+            if self.topology.leaf_of(src_n) != self.topology.leaf_of(dst_n):
+                # Leaf-local traffic never touches the core layer; only
+                # cross-leaf flows share the bisection capacity.
+                self.bytes_crossleaf += nbytes
+                done = max(done, self._bisection.commit(nbytes))
+        return self.kernel.timeout(done + lat - self.kernel.now)
+
+    def injection_eta(self, src: int, nbytes: int) -> float:
+        """When the source NIC would finish injecting ``nbytes`` issued now."""
+        out_pipe, _ = self._nic[self.node_of(src)]
+        return out_pipe.eta(nbytes)
+
+    def nic_utilization(self) -> dict[int, tuple[float, float]]:
+        """Per-node (egress, ingress) utilization fractions so far."""
+        return {
+            node: (pout.utilization(), pin.utilization())
+            for node, (pout, pin) in self._nic.items()
+        }
+
+

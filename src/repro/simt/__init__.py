@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel.
+
+Processes are plain Python generators that ``yield`` *waitables*; the kernel
+advances virtual time and resumes processes when their waitables fire.  This
+is the execution substrate for the simulated MPI runtime: every simulated MPI
+rank is one :class:`~repro.simt.process.Process`.
+
+Quick example::
+
+    from repro.simt import Kernel
+
+    k = Kernel()
+
+    def pinger(k):
+        yield k.timeout(1.5)
+        return "done at %.1f" % k.now
+
+    p = k.spawn(pinger(k), name="pinger")
+    k.run()
+    assert k.now == 1.5 and p.value.startswith("done")
+"""
+
+from repro.simt.primitives import SimEvent, Timeout, AnyOf, AllOf, Interrupt
+from repro.simt.process import Process
+from repro.simt.kernel import Kernel
+from repro.simt.resources import Resource, Store, Pipe
+
+__all__ = [
+    "Kernel",
+    "Process",
+    "SimEvent",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Resource",
+    "Store",
+    "Pipe",
+]

@@ -1,0 +1,138 @@
+"""The simulation event loop.
+
+The kernel keeps a binary heap of ``(time, sequence, event)`` entries.  Events
+fire in timestamp order; ties break by scheduling order, which makes whole
+simulations deterministic.  Deadlock (live processes but an empty heap) raises
+:class:`~repro.errors.DeadlockError` naming the blocked processes, which in
+practice pinpoints mismatched sends/receives immediately.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simt.primitives import AllOf, AnyOf, SimEvent, Timeout
+from repro.simt.process import Process
+
+
+class Kernel:
+    """Discrete-event simulation kernel with virtual time in seconds."""
+
+    def __init__(self, *, trace: bool = False):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, SimEvent]] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+        self._current: Process | None = None
+        self._crashes: list[tuple[Process, BaseException]] = []
+        self.trace = trace
+        self.events_dispatched = 0
+
+    # -- process management ----------------------------------------------------
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Create a process from a generator; it starts at the current time."""
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    @property
+    def current_process(self) -> Process | None:
+        """The process being stepped right now (None outside process code)."""
+        return self._current
+
+    def alive_processes(self) -> list[Process]:
+        return [p for p in self._processes if p.is_alive]
+
+    # -- waitable factories ------------------------------------------------------
+
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value=value)
+
+    def any_of(self, events: list[SimEvent]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: list[SimEvent]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def _schedule_event(self, event: SimEvent, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def _record_crash(self, proc: Process, exc: BaseException) -> None:
+        self._crashes.append((proc, exc))
+
+    # -- the loop ---------------------------------------------------------------
+
+    def step(self) -> None:
+        """Dispatch the next scheduled event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards (kernel bug)")
+        self.now = when
+        self.events_dispatched += 1
+        if event.state == 0:  # PENDING: a scheduled timeout firing now
+            event.state = 1  # SUCCEEDED (value was set at creation)
+        if self.trace:  # pragma: no cover - debug aid
+            print(f"[{self.now:.9f}] fire {event!r}")
+        event._dispatch()
+        # A process that crashed with nobody joining it must surface the
+        # error instead of silently vanishing from the simulation.
+        if (
+            isinstance(event, Process)
+            and event.state == 2  # FAILED
+            and event.num_waiters == 0
+        ):
+            raise SimulationError(
+                f"unhandled crash in process {event.name}: {event.value!r}"
+            ) from event.value
+
+    def run(self, until: float | SimEvent | None = None) -> Any:
+        """Run to completion, to a deadline, or until an event fires.
+
+        * ``until=None`` — drain the schedule.  If live processes remain
+          afterwards, raise :class:`DeadlockError`.
+        * ``until=<float>`` — advance virtual time to the deadline.
+        * ``until=<SimEvent>`` — run until that event triggers and return its
+          value (raising if it failed).
+        """
+        if isinstance(until, SimEvent):
+            stop_event = until
+            # Joining through run() counts as observing the event.
+            stop_event.add_callback(lambda _ev: None)
+            while not stop_event.triggered:
+                if not self._heap:
+                    self._raise_deadlock(waiting_for=stop_event)
+                self.step()
+            if stop_event.state == 2:  # FAILED
+                raise stop_event.value
+            return stop_event.value
+
+        if until is not None:
+            deadline = float(until)
+            if deadline < self.now:
+                raise SimulationError(f"deadline {deadline} is in the past ({self.now})")
+            while self._heap and self._heap[0][0] <= deadline:
+                self.step()
+            self.now = deadline
+            return None
+
+        while self._heap:
+            self.step()
+        blocked = self.alive_processes()
+        if blocked:
+            raise DeadlockError([p.name for p in blocked])
+        return None
+
+    def _raise_deadlock(self, waiting_for: SimEvent) -> None:
+        blocked = [p.name for p in self.alive_processes()]
+        raise DeadlockError(blocked or [f"<waiting for {waiting_for!r}>"])

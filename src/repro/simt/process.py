@@ -1,0 +1,113 @@
+"""Generator-coroutine processes.
+
+A process wraps a generator.  Each ``yield`` must produce a waitable
+(:class:`~repro.simt.primitives.SimEvent` or another :class:`Process`); the
+process sleeps until the waitable fires and is resumed with its value (or the
+exception is thrown into the generator).  A process is itself a
+:class:`SimEvent` that fires when the generator returns, so joining is just
+``result = yield child``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import SimulationError
+from repro.simt.primitives import FAILED, PENDING, Interrupt, SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.kernel import Kernel
+
+
+class Process(SimEvent):
+    """A running simulated process (also usable as a join event)."""
+
+    __slots__ = ("generator", "_waiting_on", "alive_since")
+
+    def __init__(self, kernel: "Kernel", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you call the function instead of passing its generator?"
+            )
+        super().__init__(kernel, name=name or getattr(generator, "__name__", "proc"))
+        self.generator = generator
+        self._waiting_on: SimEvent | None = None
+        self.alive_since = kernel.now
+        # Bootstrap: start executing at the current simulated instant.
+        init = SimEvent(kernel, name=f"{self.name}.start")
+        init.add_callback(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self.state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The interrupt detaches the process from whatever it was waiting on;
+        the underlying event stays valid and may fire later with no effect on
+        this process.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self._waiting_on is None:
+            raise SimulationError(f"cannot interrupt {self.name}: not started/waiting")
+        target = self._waiting_on
+        self._waiting_on = None
+        # Deliver via a fresh immediate event so ordering stays kernel-driven.
+        kick = SimEvent(self.kernel, name=f"{self.name}.interrupt")
+        kick.add_callback(lambda _ev: self._step(throw=Interrupt(cause)))
+        kick.succeed()
+        # Drop our callback edge from the original event if it has not fired.
+        if target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+
+    # -- kernel-side machinery ------------------------------------------------
+
+    def _resume(self, event: SimEvent) -> None:
+        if self._waiting_on is not event and self._waiting_on is not None:
+            return  # stale wake-up after an interrupt
+        self._waiting_on = None
+        if event.state == FAILED:
+            self._step(throw=event.value)
+        else:
+            self._step(send=event.value)
+
+    def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
+        if not self.is_alive:
+            return
+        self.kernel._current = self
+        try:
+            if throw is not None:
+                target = self.generator.throw(throw)
+            else:
+                target = self.generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into joiners
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.kernel._record_crash(self, exc)
+            self.fail(exc)
+            return
+        finally:
+            self.kernel._current = None
+        if not isinstance(target, SimEvent):
+            err = SimulationError(
+                f"process {self.name} yielded {type(target).__name__}, expected a waitable"
+            )
+            self.kernel._record_crash(self, err)
+            self.fail(err)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self.is_alive else ("ok" if self.ok else "failed")
+        return f"<Process {self.name} {status}>"

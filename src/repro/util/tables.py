@@ -1,0 +1,63 @@
+"""Plain-text table rendering for benchmark-harness output.
+
+The benchmark drivers print the same rows/series as the paper's tables and
+figures; :class:`Table` renders them with aligned columns in a form that is
+both human-readable and trivially machine-parseable (``to_csv``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+class Table:
+    """A small column-aligned text table."""
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt_cell(v) for v in values])
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        out = [",".join(self.columns)]
+        out.extend(",".join(row) for row in self.rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

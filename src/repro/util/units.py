@@ -1,0 +1,110 @@
+"""Byte / time unit constants and human-readable formatting helpers.
+
+The simulation works in SI seconds and raw byte counts.  Storage quantities
+follow the paper's usage: figures quote decimal GB (``GB = 1e9``) while buffer
+sizes are binary (``1 MB block`` in the code listings is ``1024 * 1024``).
+Both families are exported; pick the one matching the context.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigError
+
+# Binary units (buffer sizes, trace block sizes).
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+# Decimal units (bandwidth figures, aggregate volumes).
+KB = 10**3
+MB = 10**6
+GB = 10**9
+
+# Time units, in seconds.
+USEC = 1e-6
+MSEC = 1e-3
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGT]?i?B?)\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    "": 1,
+    "B": 1,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "TB": 10**12,
+    "KIB": KIB,
+    "MIB": MIB,
+    "GIB": GIB,
+    "TIB": 1024**4,
+    "K": KB,
+    "M": MB,
+    "G": GB,
+    "T": 10**12,
+    "KI": KIB,
+    "MI": MIB,
+    "GI": GIB,
+    "TI": 1024**4,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse ``"64 MiB"`` / ``"1GB"`` / ``4096`` into a byte count.
+
+    Raises :class:`~repro.errors.ConfigError` on malformed input.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ConfigError(f"negative size: {text!r}")
+        return int(text)
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ConfigError(f"cannot parse size: {text!r}")
+    factor = _UNIT_FACTORS.get(m.group("unit").upper())
+    if factor is None:
+        raise ConfigError(f"unknown size unit in {text!r}")
+    return int(float(m.group("num")) * factor)
+
+
+def fmt_bytes(n: float, *, binary: bool = False) -> str:
+    """Format a byte count, e.g. ``fmt_bytes(1.2e9) == '1.20 GB'``."""
+    if n < 0:
+        return "-" + fmt_bytes(-n, binary=binary)
+    base = 1024.0 if binary else 1000.0
+    suffixes = ["B", "KiB", "MiB", "GiB", "TiB"] if binary else ["B", "KB", "MB", "GB", "TB"]
+    value = float(n)
+    for suffix in suffixes[:-1]:
+        if value < base:
+            if suffix == "B":
+                return f"{value:.0f} {suffix}"
+            return f"{value:.2f} {suffix}"
+        value /= base
+    return f"{value:.2f} {suffixes[-1]}"
+
+
+def fmt_bw(bytes_per_sec: float) -> str:
+    """Format a bandwidth, e.g. ``fmt_bw(9.85e10) == '98.50 GB/s'``."""
+    return fmt_bytes(bytes_per_sec) + "/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an adaptive unit (ns up to hours)."""
+    if seconds < 0:
+        return "-" + fmt_time(-seconds)
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.3f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f} min"
+    return f"{seconds / 3600.0:.2f} h"

@@ -1,0 +1,264 @@
+"""VMPI_Stream: persistent asynchronous data channels (paper Sec. III-A, Fig. 9).
+
+Behavioural contract from the paper:
+
+* UNIX-pipe-like interface: ``write`` is non-blocking *until all
+  asynchronous buffers are full*, preserving an adaptation window between
+  producer and consumer.
+* The read endpoint keeps ``NA`` receive buffers **per incoming stream** so
+  a buffer is always available for matched reception (no unexpected
+  messages); the write endpoint shares ``NA`` output buffers across all its
+  endpoints to bound memory (blocks are ~1 MB for instrumentation).
+* A stream may connect one writer to several readers (and vice versa); a
+  load-balancing policy — none / random / round-robin — picks the endpoint
+  of each block.
+* Non-blocking reads return :data:`EAGAIN`; once every connected writer has
+  closed and all data is drained, reads return EOF (0), mirroring the
+  paper's read loop (Figure 12).
+
+Backpressure is physical, not simulated-by-fiat: blocks above the eager
+threshold use rendezvous sends, which only complete once the reader has a
+receive buffer posted — a slow reader therefore stalls the writer exactly
+when writer slots and reader buffers are exhausted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import StreamClosedError, VMPIError
+from repro.mpi.status import Status
+from repro.mpi.world import ProgramAPI
+from repro.simt.primitives import SimEvent
+from repro.simt.resources import Resource
+from repro.util.rng import derive_rng
+from repro.vmpi.mapping import VMPIMap
+
+#: Return value of a non-blocking read with no data available.
+EAGAIN = -11
+#: Return value of a read once all remote endpoints closed (paper: 0).
+EOF = 0
+
+BALANCE_NONE = "none"
+BALANCE_RANDOM = "random"
+BALANCE_ROUND_ROBIN = "round_robin"
+
+_VALID_POLICIES = (BALANCE_NONE, BALANCE_RANDOM, BALANCE_ROUND_ROBIN)
+
+_TAG_STREAM_BASE = 800_000
+
+#: payload marker of a close message
+_CLOSE = "__vmpi_stream_close__"
+
+
+class VMPIStream:
+    """One endpoint of a persistent asynchronous stream."""
+
+    def __init__(
+        self,
+        block_size: int = 1024 * 1024,
+        balance: str = BALANCE_ROUND_ROBIN,
+        na_buffers: int = 3,
+        channel: int = 0,
+    ):
+        if block_size <= 0:
+            raise VMPIError(f"block_size must be > 0, got {block_size}")
+        if balance not in _VALID_POLICIES:
+            raise VMPIError(f"unknown balance policy {balance!r}")
+        if na_buffers < 1:
+            raise VMPIError(f"na_buffers must be >= 1, got {na_buffers}")
+        if not (0 <= channel < 10_000):
+            raise VMPIError(f"channel must be in [0, 10000), got {channel}")
+        self.block_size = block_size
+        self.balance = balance
+        self.na = na_buffers
+        self.channel = channel
+        self.mode: str | None = None
+        self.endpoints: list[int] = []  # peer global ranks
+        self.blocks_written = 0
+        self.blocks_read = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+        # writer state
+        self._slots: Resource | None = None
+        self._rr_next = 0
+        self._rng = None
+        # reader state
+        self._ready: deque[Status] | None = None
+        self._wake: SimEvent | None = None
+        self._closes_pending = 0
+        self._mpi: ProgramAPI | None = None
+        self._closed = False
+
+    # -- opening ---------------------------------------------------------------------
+
+    def open_map(self, mpi: ProgramAPI, vmap: VMPIMap, mode: str):
+        """Generator: connect to every peer of a ``VMPI_Map``."""
+        yield from self.open_ranks(mpi, list(vmap.entries), mode)
+
+    def open_ranks(self, mpi: ProgramAPI, peers: list[int], mode: str):
+        """Generator: connect to explicit peer global ranks."""
+        if self.mode is not None:
+            raise VMPIError("stream already open")
+        if mode not in ("r", "w"):
+            raise VMPIError(f"mode must be 'r' or 'w', got {mode!r}")
+        if not peers:
+            raise VMPIError("stream needs at least one endpoint")
+        if len(set(peers)) != len(peers):
+            raise VMPIError("duplicate endpoints in stream")
+        self.mode = mode
+        self.endpoints = list(peers)
+        self._mpi = mpi
+        kernel = mpi.ctx.kernel
+        if mode == "w":
+            self._slots = Resource(kernel, capacity=self.na, name="vmpi.wbuf")
+            self._rng = derive_rng(
+                mpi.ctx.world.seed, "stream", mpi.ctx.global_rank, self.channel
+            )
+        else:
+            self._ready = deque()
+            self._closes_pending = len(peers)
+            # NA receive buffers per incoming stream: pre-post NA receives
+            # from every writer so reception never hits an unexpected path.
+            for peer in peers:
+                for _ in range(self.na):
+                    self._post_recv(peer)
+        yield kernel.timeout(0.0)
+
+    @property
+    def tag(self) -> int:
+        return _TAG_STREAM_BASE + self.channel
+
+    # -- writer side ---------------------------------------------------------------------
+
+    def write(self, nbytes: int | None = None, payload: Any = None):
+        """Generator: write one block; returns the block size written.
+
+        Blocks only when all ``NA`` shared output buffers are in flight
+        (i.e. unmatched by any reader) — the paper's adaptation window.
+        """
+        self._require("w", "write")
+        nbytes = self.block_size if nbytes is None else int(nbytes)
+        if not (0 < nbytes <= self.block_size):
+            raise VMPIError(f"write of {nbytes} outside (0, {self.block_size}]")
+        mpi = self._mpi
+        kernel = mpi.ctx.kernel
+        yield self._slots.acquire()
+        # Copy into the asynchronous output buffer.
+        copy_time = nbytes / mpi.ctx.world.machine.intra_node_bandwidth
+        if copy_time > 0:
+            yield kernel.timeout(copy_time)
+        dest = self._pick_endpoint()
+        req = yield from mpi.comm_universe._raw_isend(
+            dest, nbytes=nbytes, tag=self.tag, payload=payload
+        )
+        req.event.add_callback(lambda _ev: self._slots.release())
+        self.blocks_written += 1
+        self.bytes_written += nbytes
+        return nbytes
+
+    def _pick_endpoint(self) -> int:
+        if len(self.endpoints) == 1 or self.balance == BALANCE_NONE:
+            return self.endpoints[0]
+        if self.balance == BALANCE_RANDOM:
+            return self._rng.choice(self.endpoints)
+        dest = self.endpoints[self._rr_next % len(self.endpoints)]
+        self._rr_next += 1
+        return dest
+
+    # -- reader side ----------------------------------------------------------------------
+
+    def _post_recv(self, peer: int) -> None:
+        mpi = self._mpi
+        comm = mpi.comm_universe
+        peer_comm_rank = comm.group.rank_of_global[peer]
+        completion = mpi.ctx.mailbox.post(
+            comm.id, peer_comm_rank, self.tag, mpi.ctx.world.cost.o_recv
+        )
+        completion.add_callback(self._on_block)
+
+    def _on_block(self, ev: SimEvent) -> None:
+        status: Status = ev.value
+        self._ready.append(status)
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+            self._wake = None
+
+    def read(self, nonblock: bool = False):
+        """Generator: read one block.
+
+        Returns ``(nbytes, payload)``; ``(EOF, None)`` once all writers have
+        closed and data is drained; ``(EAGAIN, None)`` if ``nonblock`` and no
+        block is available (paper: try the next endpoint, avoid circular
+        waits).
+        """
+        self._require("r", "read")
+        mpi = self._mpi
+        kernel = mpi.ctx.kernel
+        while True:
+            while self._ready:
+                status = self._ready.popleft()
+                result = self._consume(status)
+                if result is not None:
+                    # Charge the copy out of the reception buffer.
+                    copy_time = result[0] / mpi.ctx.world.machine.intra_node_bandwidth
+                    if copy_time > 0:
+                        yield kernel.timeout(copy_time)
+                    return result
+            if self._closes_pending == 0:
+                return (EOF, None)
+            if nonblock:
+                yield kernel.timeout(0.0)
+                return (EAGAIN, None)
+            self._wake = SimEvent(kernel, name="stream.wake")
+            yield self._wake
+
+    def _consume(self, status: Status) -> tuple[int, Any] | None:
+        """Handle one arrived message; None for protocol (close) markers."""
+        peer_global = self._mpi.comm_universe.global_rank_of(status.source)
+        if status.payload is _CLOSE:
+            self._closes_pending -= 1
+            return None
+        # Re-post the consumed buffer for this peer to keep NA outstanding.
+        self._post_recv(peer_global)
+        self.blocks_read += 1
+        self.bytes_read += status.nbytes
+        return (status.nbytes, status.payload)
+
+    # -- shutdown -----------------------------------------------------------------------------
+
+    def close(self):
+        """Generator: close the stream.
+
+        Writers notify every endpoint (readers then see EOF); readers simply
+        mark the endpoint closed.
+        """
+        if self.mode is None or self._closed:
+            raise StreamClosedError("close() on unopened or already-closed stream")
+        self._closed = True
+        mpi = self._mpi
+        if self.mode == "w":
+            # Drain: wait until every output buffer is free again, so close
+            # cannot overtake pending data (FIFO per (src, tag) guarantees
+            # the close marker arrives last).
+            for _ in range(self.na):
+                yield self._slots.acquire()
+            for _ in range(self.na):
+                self._slots.release()
+            for peer in self.endpoints:
+                yield from mpi.comm_universe._raw_isend(
+                    peer, nbytes=1, tag=self.tag, payload=_CLOSE
+                )
+        else:
+            yield mpi.ctx.kernel.timeout(0.0)
+
+    # -- helpers ----------------------------------------------------------------------------
+
+    def _require(self, mode: str, op: str) -> None:
+        if self.mode is None:
+            raise StreamClosedError(f"{op}() on unopened stream")
+        if self._closed:
+            raise StreamClosedError(f"{op}() on closed stream")
+        if self.mode != mode:
+            raise VMPIError(f"{op}() on a {self.mode!r}-mode stream")

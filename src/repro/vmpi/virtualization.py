@@ -1,0 +1,36 @@
+"""MPI virtualization (paper Section III-A, Figure 6).
+
+The paper intercepts every MPI call through PMPI and replaces references to
+``MPI_COMM_WORLD`` with a per-program sub-communicator, so unmodified
+programs can cohabit inside one MPMD job; the real world stays reachable as
+``MPI_COMM_UNIVERSE`` for inter-application communication.
+
+Here the same remapping happens at launch time: the
+:class:`VirtualizedLauncher` hands every program a
+:class:`~repro.mpi.world.ProgramAPI` whose ``comm_world`` covers only its
+own partition while ``comm_universe`` is the real world communicator.  A
+program written against ``mpi.comm_world`` therefore runs bit-identically
+whether launched alone or co-launched with other programs — the paper's
+transparent-cohabitation requirement.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.communicator import Comm
+from repro.mpi.launcher import MPMDLauncher
+from repro.mpi.world import PartitionInfo, ProgramAPI, RankContext, World
+
+
+class VirtualizedLauncher(MPMDLauncher):
+    """MPMD launcher applying VMPI virtualization to every program."""
+
+    def _make_api(self, world: World, ctx: RankContext, partition: PartitionInfo) -> ProgramAPI:
+        universe = Comm(world.universe_group, ctx.global_rank, ctx)
+        partition_group = world.intern_group(
+            tuple(partition.global_ranks),
+            f"VMPI_WORLD[{partition.name}]",
+            key=("vmpi-world", partition.index),
+        )
+        local_rank = ctx.global_rank - partition.first_global_rank
+        virtual_world = Comm(partition_group, local_rank, ctx)
+        return ProgramAPI(ctx, comm_world=virtual_world, comm_universe=universe)

@@ -1,0 +1,166 @@
+"""Kernel event-loop semantics."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simt import Kernel
+
+
+def test_time_starts_at_zero(kernel):
+    assert kernel.now == 0.0
+
+
+def test_timeout_advances_time(kernel):
+    done = []
+
+    def proc(k):
+        yield k.timeout(2.5)
+        done.append(k.now)
+
+    kernel.spawn(proc(kernel), name="p")
+    kernel.run()
+    assert done == [2.5]
+    assert kernel.now == 2.5
+
+
+def test_zero_timeout_fires_same_instant(kernel):
+    def proc(k):
+        yield k.timeout(0.0)
+        return k.now
+
+    p = kernel.spawn(proc(kernel))
+    kernel.run()
+    assert p.value == 0.0
+
+
+def test_negative_timeout_rejected(kernel):
+    with pytest.raises(SimulationError):
+        kernel.timeout(-1.0)
+
+
+def test_events_fire_in_timestamp_order(kernel):
+    order = []
+
+    def proc(k, name, delay):
+        yield k.timeout(delay)
+        order.append(name)
+
+    kernel.spawn(proc(kernel, "c", 3.0))
+    kernel.spawn(proc(kernel, "a", 1.0))
+    kernel.spawn(proc(kernel, "b", 2.0))
+    kernel.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_schedule_order(kernel):
+    order = []
+
+    def proc(k, name):
+        yield k.timeout(1.0)
+        order.append(name)
+
+    for name in ("first", "second", "third"):
+        kernel.spawn(proc(kernel, name))
+    kernel.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_run_until_deadline_stops_exactly(kernel):
+    fired = []
+
+    def proc(k):
+        for _ in range(10):
+            yield k.timeout(1.0)
+            fired.append(k.now)
+
+    kernel.spawn(proc(kernel))
+    kernel.run(until=4.5)
+    assert fired == [1.0, 2.0, 3.0, 4.0]
+    assert kernel.now == 4.5
+
+
+def test_run_until_event_returns_value(kernel):
+    def child(k):
+        yield k.timeout(1.0)
+        return 42
+
+    p = kernel.spawn(child(kernel))
+    assert kernel.run(until=p) == 42
+
+
+def test_run_until_past_deadline_rejected(kernel):
+    kernel.spawn(iter([]) and _noop(kernel))
+    kernel.run()
+    with pytest.raises(SimulationError):
+        kernel.run(until=kernel.now - 1.0)
+
+
+def _noop(k):
+    yield k.timeout(0.0)
+
+
+def test_deadlock_detection_names_blocked_process(kernel):
+    def stuck(k):
+        yield k.event()
+
+    kernel.spawn(stuck(kernel), name="stucky")
+    with pytest.raises(DeadlockError) as excinfo:
+        kernel.run()
+    assert "stucky" in str(excinfo.value)
+
+
+def test_unhandled_crash_surfaces(kernel):
+    def boom(k):
+        yield k.timeout(1.0)
+        raise ValueError("broken")
+
+    kernel.spawn(boom(kernel), name="boom")
+    with pytest.raises(SimulationError, match="boom"):
+        kernel.run()
+
+
+def test_joined_crash_propagates_to_joiner(kernel):
+    caught = []
+
+    def boom(k):
+        yield k.timeout(1.0)
+        raise ValueError("inner")
+
+    def joiner(k):
+        child = k.spawn(boom(k), name="boom")
+        try:
+            yield child
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    kernel.spawn(joiner(kernel), name="joiner")
+    kernel.run()
+    assert caught == ["inner"]
+
+
+def test_events_dispatched_counter(kernel):
+    def proc(k):
+        yield k.timeout(1.0)
+        yield k.timeout(1.0)
+
+    kernel.spawn(proc(kernel))
+    kernel.run()
+    assert kernel.events_dispatched >= 2
+
+
+def test_step_on_empty_schedule_raises(kernel):
+    with pytest.raises(SimulationError):
+        kernel.step()
+
+
+def test_many_processes_complete(kernel):
+    results = []
+
+    def proc(k, i):
+        yield k.timeout(i * 0.001)
+        results.append(i)
+
+    for i in range(200):
+        kernel.spawn(proc(kernel, i))
+    kernel.run()
+    assert results == list(range(200))

@@ -1,0 +1,305 @@
+"""VMPI streams: pipelining, backpressure, policies, EOF/EAGAIN protocol."""
+
+import pytest
+
+from repro.errors import SimulationError, StreamClosedError, VMPIError
+from repro.util.units import KIB, MIB
+from repro.vmpi import (
+    BALANCE_NONE,
+    BALANCE_RANDOM,
+    BALANCE_ROUND_ROBIN,
+    EAGAIN,
+    EOF,
+    ROUND_ROBIN,
+    VMPIMap,
+    VMPIStream,
+    map_partitions,
+)
+from repro.vmpi.virtualization import VirtualizedLauncher
+
+
+def _coupled(machine, writers, readers, writer_main, reader_main, seed=0, **shared):
+    launcher = VirtualizedLauncher(machine=machine, seed=seed)
+    launcher.add_program("W", nprocs=writers, main=writer_main, **shared)
+    launcher.add_program("Analyzer", nprocs=readers, main=reader_main, **shared)
+    return launcher.run()
+
+
+def _writer(mpi, out, blocks=10, block_size=64 * KIB, na=3, balance=BALANCE_ROUND_ROBIN):
+    yield from mpi.init()
+    vmap = VMPIMap()
+    yield from map_partitions(mpi, vmap, "Analyzer", ROUND_ROBIN)
+    st = VMPIStream(block_size=block_size, balance=balance, na_buffers=na)
+    yield from st.open_map(mpi, vmap, "w")
+    for i in range(blocks):
+        yield from st.write(payload=(mpi.rank, i))
+    yield from st.close()
+    out.setdefault("written", []).append(st.blocks_written)
+    yield from mpi.finalize()
+
+
+def _reader(mpi, out, block_size=64 * KIB, na=3, **_kw):
+    yield from mpi.init()
+    vmap = VMPIMap()
+    for i in range(mpi.partition_count()):
+        if i != mpi.partition.index:
+            yield from map_partitions(mpi, vmap, i, ROUND_ROBIN)
+    st = VMPIStream(block_size=block_size, na_buffers=na)
+    yield from st.open_map(mpi, vmap, "r")
+    while True:
+        n, payload = yield from st.read()
+        if n == EOF:
+            break
+        out.setdefault("read", []).append(payload)
+    yield from st.close()
+    yield from mpi.finalize()
+
+
+def test_all_blocks_delivered(machine):
+    out = {}
+    _coupled(machine, 4, 2, _writer, _reader, out=out)
+    assert sorted(out["read"]) == sorted((r, i) for r in range(4) for i in range(10))
+
+
+def test_per_writer_fifo_order(machine):
+    out = {}
+    _coupled(machine, 2, 1, _writer, _reader, out=out)
+    for writer in range(2):
+        seq = [i for (r, i) in out["read"] if r == writer]
+        assert seq == sorted(seq)
+
+
+def test_validation_errors():
+    with pytest.raises(VMPIError):
+        VMPIStream(block_size=0)
+    with pytest.raises(VMPIError):
+        VMPIStream(balance="zigzag")
+    with pytest.raises(VMPIError):
+        VMPIStream(na_buffers=0)
+    with pytest.raises(VMPIError):
+        VMPIStream(channel=-1)
+
+
+def test_write_requires_open():
+    st = VMPIStream()
+    with pytest.raises(StreamClosedError):
+        list(st.write(nbytes=10))
+
+
+def test_mode_enforcement(machine):
+    def writer(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, "Analyzer", ROUND_ROBIN)
+        st = VMPIStream()
+        yield from st.open_map(mpi, vmap, "w")
+        with pytest.raises(VMPIError):
+            yield from st.read()
+        yield from st.write(nbytes=100)
+        yield from st.close()
+        yield from mpi.finalize()
+
+    out = {}
+    _coupled(machine, 1, 1, writer, _reader, out=out)
+
+
+def test_oversized_write_rejected(machine):
+    def writer(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, "Analyzer", ROUND_ROBIN)
+        st = VMPIStream(block_size=1024)
+        yield from st.open_map(mpi, vmap, "w")
+        with pytest.raises(VMPIError):
+            yield from st.write(nbytes=2048)
+        yield from st.write(nbytes=1024)
+        yield from st.close()
+        yield from mpi.finalize()
+
+    _coupled(machine, 1, 1, writer, _reader, out={})
+
+
+def test_nonblocking_read_eagain(machine):
+    observed = []
+
+    def slow_writer(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, "Analyzer", ROUND_ROBIN)
+        st = VMPIStream()
+        yield from st.open_map(mpi, vmap, "w")
+        yield from mpi.compute(1.0)  # make the reader spin first
+        yield from st.write(nbytes=1000)
+        yield from st.close()
+        yield from mpi.finalize()
+
+    def polling_reader(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, 0, ROUND_ROBIN)
+        st = VMPIStream()
+        yield from st.open_map(mpi, vmap, "r")
+        n, _ = yield from st.read(nonblock=True)
+        observed.append(n)
+        while True:
+            n, _ = yield from st.read()
+            if n == EOF:
+                break
+            observed.append(n)
+        yield from mpi.finalize()
+
+    _coupled(machine, 1, 1, slow_writer, polling_reader, out={})
+    assert observed[0] == EAGAIN
+    assert observed[1] == 1000
+
+
+def test_eof_only_after_all_writers_close(machine):
+    out = {}
+    _coupled(machine, 6, 1, _writer, _reader, out=out)
+    assert len(out["read"]) == 60  # nothing lost, EOF strictly last
+
+
+def test_backpressure_blocks_writer(machine):
+    """A stalled reader throttles the writer to the buffer window."""
+    progress = {}
+
+    def writer(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, "Analyzer", ROUND_ROBIN)
+        st = VMPIStream(block_size=1 * MIB, na_buffers=2)
+        yield from st.open_map(mpi, vmap, "w")
+        for i in range(20):
+            yield from st.write()
+            progress[i] = mpi.now
+        yield from st.close()
+        yield from mpi.finalize()
+
+    def stalled_reader(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, 0, ROUND_ROBIN)
+        st = VMPIStream(block_size=1 * MIB, na_buffers=2)
+        yield from st.open_map(mpi, vmap, "r")
+        yield from mpi.compute(5.0)  # reader sleeps: buffers fill
+        while True:
+            n, _ = yield from st.read()
+            if n == EOF:
+                break
+        yield from mpi.finalize()
+
+    _coupled(machine, 1, 1, writer, stalled_reader, out={})
+    # The first few writes fit the adaptation window; later ones block
+    # until the reader wakes at t=5.
+    assert progress[0] < 1.0
+    assert progress[19] > 5.0
+
+
+def test_adaptation_window_scales_with_na(machine):
+    """More asynchronous buffers let more writes complete before blocking."""
+
+    def count_early(na):
+        progress = {}
+
+        def writer(mpi, out):
+            yield from mpi.init()
+            vmap = VMPIMap()
+            yield from map_partitions(mpi, vmap, "Analyzer", ROUND_ROBIN)
+            st = VMPIStream(block_size=1 * MIB, na_buffers=na)
+            yield from st.open_map(mpi, vmap, "w")
+            for i in range(30):
+                yield from st.write()
+                progress[i] = mpi.now
+            yield from st.close()
+            yield from mpi.finalize()
+
+        def sleeper(mpi, out):
+            yield from mpi.init()
+            vmap = VMPIMap()
+            yield from map_partitions(mpi, vmap, 0, ROUND_ROBIN)
+            st = VMPIStream(block_size=1 * MIB, na_buffers=na)
+            yield from st.open_map(mpi, vmap, "r")
+            yield from mpi.compute(5.0)
+            while True:
+                n, _ = yield from st.read()
+                if n == EOF:
+                    break
+            yield from mpi.finalize()
+
+        _coupled(machine, 1, 1, writer, sleeper, out={})
+        return sum(1 for t in progress.values() if t < 5.0)
+
+    assert count_early(6) > count_early(2)
+
+
+def test_round_robin_balances_endpoints(machine):
+    per_reader = {}
+
+    def counting_reader(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, 0, ROUND_ROBIN)
+        st = VMPIStream()
+        yield from st.open_map(mpi, vmap, "r")
+        count = 0
+        while True:
+            n, _ = yield from st.read()
+            if n == EOF:
+                break
+            count += 1
+        per_reader[mpi.rank] = count
+        yield from mpi.finalize()
+
+    def writer(mpi, out):
+        yield from _writer(mpi, out, blocks=12)
+
+    _coupled(machine, 2, 4, writer, counting_reader, out={})
+    # Each of the 2 writers is mapped to 2 readers; RR splits evenly.
+    assert sorted(per_reader.values()) == [6, 6, 6, 6]
+
+
+def test_balance_none_uses_first_endpoint(machine):
+    per_reader = {}
+
+    def writer(mpi, out):
+        yield from _writer(mpi, out, blocks=8, balance=BALANCE_NONE)
+
+    def counting_reader(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, 0, ROUND_ROBIN)
+        st = VMPIStream()
+        yield from st.open_map(mpi, vmap, "r")
+        count = 0
+        while True:
+            n, _ = yield from st.read()
+            if n == EOF:
+                break
+            count += 1
+        per_reader[mpi.rank] = count
+        yield from mpi.finalize()
+
+    _coupled(machine, 1, 2, writer, counting_reader, out={})
+    assert sorted(per_reader.values()) == [0, 8]
+
+
+def test_double_close_rejected(machine):
+    def writer(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, "Analyzer", ROUND_ROBIN)
+        st = VMPIStream()
+        yield from st.open_map(mpi, vmap, "w")
+        yield from st.write(nbytes=10)
+        yield from st.close()
+        with pytest.raises(StreamClosedError):
+            yield from st.close()
+        yield from mpi.finalize()
+
+    _coupled(machine, 1, 1, writer, _reader, out={})
+
+
+def test_stream_byte_accounting(machine):
+    out = {}
+    _coupled(machine, 2, 1, _writer, _reader, out=out, blocks=5)
+    assert out["written"] == [5, 5]
