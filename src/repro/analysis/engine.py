@@ -16,6 +16,7 @@ after execution ends".
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -30,6 +31,7 @@ from repro.analysis.topology import CommMatrix
 from repro.analysis.waitstate import WaitState
 from repro.blackboard.multilevel import MultiLevelBlackboard
 from repro.instrument.packer import decode_pack
+from repro.telemetry import NULL_TELEMETRY, Telemetry, rank_pid
 from repro.vmpi.mapping import MapPolicy, ROUND_ROBIN, VMPIMap, map_partitions
 from repro.vmpi.stream import BALANCE_ROUND_ROBIN, EOF, VMPIStream
 
@@ -77,13 +79,25 @@ class AnalysisConfig:
 class AnalyzerEngine:
     """Per-analyzer-rank multi-level blackboard with the analysis pipeline."""
 
-    def __init__(self, apps: list[tuple[str, int]], config: AnalysisConfig, seed: int = 0):
+    def __init__(
+        self,
+        apps: list[tuple[str, int]],
+        config: AnalysisConfig,
+        seed: int = 0,
+        telemetry: Telemetry | None = None,
+        track_pid: int = 0,
+    ):
         if not apps:
             raise ConfigError("analyzer engine needs at least one application")
         self.apps = list(apps)
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.ml = MultiLevelBlackboard(
-            levels=[name for name, _size in apps], nqueues=config.nqueues, seed=seed
+            levels=[name for name, _size in apps],
+            nqueues=config.nqueues,
+            seed=seed,
+            telemetry=self.telemetry,
+            track_pid=track_pid,
         )
         # level -> module name -> mergeable state
         self.states: dict[str, dict[str, Any]] = {}
@@ -98,25 +112,35 @@ class AnalyzerEngine:
 
     def _wire_level(self, level: str, level_states: dict[str, Any]) -> None:
         board = self.ml.board
+        tel = self.telemetry
         pack_id = self.ml.type_id("event_pack", level)
         events_id = self.ml.type_id("mpi_events", level)
 
         def unpack(b, entries):
             for entry in entries:
                 header, events = decode_pack(entry.payload)
+                if tel.enabled:
+                    tel.counter("analysis.packs_decoded").inc()
                 b.submit(events_id, (header.rank, events), size=events.nbytes)
 
         board.register_ks(f"KS_Unpacker[{level}]", [pack_id], unpack)
 
         for mod_name, state in level_states.items():
-            def make_op(st):
+            def make_op(st, mod):
                 def op(_b, entries):
+                    t0 = time.perf_counter() if tel.enabled else 0.0
                     for entry in entries:
                         rank, events = entry.payload
                         st.update(rank, events)
+                    if tel.enabled:
+                        tel.counter(f"analysis.cpu_s.{mod}").inc(
+                            time.perf_counter() - t0
+                        )
                 return op
 
-            board.register_ks(f"KS_{mod_name}[{level}]", [events_id], make_op(state))
+            board.register_ks(
+                f"KS_{mod_name}[{level}]", [events_id], make_op(state, mod_name)
+            )
 
     # -- ingestion --------------------------------------------------------------------
 
@@ -214,19 +238,30 @@ def analyzer_program(
     )
     yield from stream.open_map(mpi, vmap, "r")
 
+    tel = mpi.ctx.telemetry
+    pid = rank_pid(mpi.ctx.global_rank)
     engine = AnalyzerEngine(
         apps=[(p.name, p.size) for p in app_partitions],
         config=config,
         seed=world.seed + mpi.rank,
+        telemetry=tel,
+        track_pid=pid,
     )
 
     while True:
         nbytes, payload = yield from stream.read()
         if nbytes == EOF:
             break
+        span = (
+            tel.span("analysis.block", pid=pid, cat="analysis", args={"nbytes": nbytes})
+            if tel.enabled
+            else None
+        )
         # Charge the analysis CPU cost for this block to simulated time.
         yield from mpi.compute(config.cpu_cost(nbytes))
         engine.ingest(payload)
+        if span is not None:
+            span.end()
 
     yield from stream.close()
 
@@ -256,5 +291,6 @@ def analyzer_program(
                 "packs": total_packs,
                 "bytes": total_bytes,
                 "board": engine.ml.board.stats(),
+                "stream": stream.stats(),
             }
     yield from mpi.finalize()

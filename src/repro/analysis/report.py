@@ -167,6 +167,9 @@ class ProfileReport:
     """The full multi-application report."""
 
     chapters: list[ApplicationReport] = field(default_factory=list)
+    #: Self-telemetry summary (``Telemetry.summary()``) when the measurement
+    #: pipeline itself ran instrumented; None otherwise.
+    telemetry: Optional[dict] = None
 
     def chapter(self, app: str) -> ApplicationReport:
         for ch in self.chapters:
@@ -181,7 +184,42 @@ class ProfileReport:
             f"Applications profiled concurrently: {len(self.chapters)}",
             "",
         ]
-        return "\n".join(header + [ch.render(verbosity) for ch in self.chapters])
+        parts = header + [ch.render(verbosity) for ch in self.chapters]
+        if self.telemetry:
+            parts.append(self._render_telemetry())
+        return "\n".join(parts)
+
+    def _render_telemetry(self) -> str:
+        """The measurement pipeline's own vitals (paper-spirit: online too)."""
+        s = self.telemetry
+        out = ["## Self-telemetry (measurement pipeline)", ""]
+        head = s.get("headline", {})
+        out.append(f"- kernel events dispatched: {head.get('events_dispatched', 0)}")
+        out.append(f"- bytes streamed: {fmt_bytes(head.get('bytes_streamed', 0))}")
+        utilization = head.get("worker_utilization")
+        if utilization is not None:
+            out.append(f"- blackboard worker utilization: {utilization:.3f}")
+        out.append(f"- spans recorded: {head.get('spans_recorded', 0)}")
+        spans = s.get("spans", {})
+        if spans:
+            top = sorted(spans.items(), key=lambda kv: -kv[1]["total_s"])[:6]
+            out.append("- busiest spans: " + ", ".join(
+                f"{name} x{int(v['count'])} ({fmt_time(v['total_s'])})"
+                for name, v in top
+            ))
+        for name, h in sorted(s.get("histograms", {}).items()):
+            if h.get("count"):
+                out.append(
+                    f"- {name}: n={h['count']} mean={h['mean']:.3g} "
+                    f"p95={h['p95']:.3g} max={h['max']:.3g}"
+                )
+        for name, g in sorted(s.get("gauges", {}).items()):
+            out.append(
+                f"- {name}: last={g['last']:.0f} peak={g['peak']:.0f} "
+                f"({int(g['tracks'])} tracks)"
+            )
+        out.append("")
+        return "\n".join(out)
 
     def __contains__(self, app: str) -> bool:
         return any(ch.app == app for ch in self.chapters)

@@ -11,13 +11,21 @@ Usage::
     python -m repro.bench trace-sizes
     python -m repro.bench fs-comparison
     python -m repro.bench all
+
+With ``--json`` each experiment additionally writes ``BENCH_<name>.json``
+(table rows + metadata); adding ``--telemetry`` runs the measurement
+pipeline itself instrumented, embeds the self-telemetry summary in the
+JSON, and dumps ``BENCH_<name>.trace.json`` — a Chrome trace-event file
+loadable in Perfetto or ``chrome://tracing``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.bench import (
     bi_bandwidth_table,
@@ -29,6 +37,7 @@ from repro.bench import (
     fs_comparison_table,
     trace_size_table,
 )
+from repro.telemetry import Telemetry
 
 _DRIVERS = {
     "fig14": fig14_stream_throughput,
@@ -60,17 +69,58 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--csv", action="store_true", help="emit CSV instead of an aligned table"
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write BENCH_<name>.json with rows and metadata",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="instrument the measurement pipeline itself; dumps a Chrome "
+        "trace next to the JSON (implies --json)",
+    )
+    parser.add_argument(
+        "--outdir",
+        default=".",
+        help="directory for --json/--telemetry artefacts (default: cwd)",
+    )
     args = parser.parse_args(argv)
+    if args.telemetry:
+        args.json = True
+
+    outdir = Path(args.outdir)
+    if args.json:
+        outdir.mkdir(parents=True, exist_ok=True)
 
     names = sorted(_DRIVERS) if args.experiment == "all" else [args.experiment]
     for name in names:
         driver = _DRIVERS[name]
+        telemetry = Telemetry() if args.telemetry else None
         t0 = time.perf_counter()
-        result = driver(scale=args.scale, seed=args.seed)
+        result = driver(scale=args.scale, seed=args.seed, telemetry=telemetry)
         elapsed = time.perf_counter() - t0
         table = result.table()
         print(table.to_csv() if args.csv else table.render())
         print(f"[{name}: regenerated in {elapsed:.1f}s at scale={args.scale}]")
+        if args.json:
+            stem = name.replace("-", "_")
+            payload = {
+                "experiment": name,
+                "scale": args.scale,
+                "seed": args.seed,
+                "elapsed_s": elapsed,
+                "columns": table.columns,
+                "rows": table.rows,
+            }
+            if telemetry is not None:
+                payload["telemetry"] = telemetry.summary()
+                trace_path = outdir / f"BENCH_{stem}.trace.json"
+                telemetry.write_chrome_trace(trace_path)
+                print(f"[{name}: Chrome trace -> {trace_path}]")
+            json_path = outdir / f"BENCH_{stem}.json"
+            json_path.write_text(json.dumps(payload, indent=2, default=str))
+            print(f"[{name}: JSON -> {json_path}]")
         print()
     return 0
 

@@ -15,6 +15,7 @@ from repro.bench.harness import OverheadPoint, measure_overhead, readers_for
 from repro.core.comparison import ToolRunResult, compare_tools
 from repro.core.session import CouplingSession
 from repro.network.machine import CURIE, MachineSpec, TERA100
+from repro.telemetry import Telemetry
 from repro.util.tables import Table
 from repro.util.units import GB, GIB, MIB
 from repro.vmpi.virtualization import VirtualizedLauncher
@@ -61,10 +62,11 @@ def _stream_point(
     bytes_per_writer: int,
     block_size: int,
     seed: int,
+    telemetry: Telemetry | None = None,
 ) -> dict[str, float]:
     readers = readers_for(writers, ratio)
     stats: dict[str, Any] = {}
-    launcher = VirtualizedLauncher(machine=machine, seed=seed)
+    launcher = VirtualizedLauncher(machine=machine, seed=seed, telemetry=telemetry)
     launcher.add_program(
         "Writers",
         nprocs=writers,
@@ -102,6 +104,7 @@ def fig14_stream_throughput(
     scale: str = "small",
     machine: MachineSpec = TERA100,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> Fig14Result:
     """Throughput surface over (writer count, writer/reader ratio).
 
@@ -122,7 +125,10 @@ def fig14_stream_throughput(
     for writers in writer_counts:
         for ratio in ratios:
             result.points.append(
-                _stream_point(machine, writers, ratio, bytes_per_writer, MIB, seed)
+                _stream_point(
+                    machine, writers, ratio, bytes_per_writer, MIB, seed,
+                    telemetry=telemetry,
+                )
             )
     return result
 
@@ -202,12 +208,15 @@ def fig15_overhead(
     scale: str = "small",
     machine: MachineSpec = TERA100,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> Fig15Result:
     """Overhead of online instrumentation at ratio 1/1 (paper: all < 25 %,
     class C above class D for the same benchmark)."""
     result = Fig15Result(machine=machine.name)
     for kernel in _fig15_workloads(scale):
-        result.points.append(measure_overhead(kernel, machine, ratio=1.0, seed=seed))
+        result.points.append(
+            measure_overhead(kernel, machine, ratio=1.0, seed=seed, telemetry=telemetry)
+        )
     return result
 
 
@@ -260,6 +269,7 @@ def fig16_tool_comparison(
         "scorep_trace",
         "scalasca",
     ),
+    telemetry: Telemetry | None = None,
 ) -> Fig16Result:
     """SP.D under each tool model (paper: online cheaper than file-based
     traces at scale despite moving ~2.9x the data)."""
@@ -278,6 +288,7 @@ def fig16_tool_comparison(
             tools=tools,
             machine=machine,
             seed=seed,
+            telemetry=telemetry,
         )
         result.runs.extend(runs)
     return result
@@ -315,8 +326,14 @@ class Fig17Result:
         return t
 
 
-def _profile_app(kernel, machine: MachineSpec, seed: int, name: str | None = None) -> ProfileReport:
-    session = CouplingSession(machine=machine, seed=seed)
+def _profile_app(
+    kernel,
+    machine: MachineSpec,
+    seed: int,
+    name: str | None = None,
+    telemetry: Telemetry | None = None,
+) -> ProfileReport:
+    session = CouplingSession(machine=machine, seed=seed, telemetry=telemetry)
     session.add_application(kernel, name=name)
     session.set_analyzer(ratio=1.0)
     result = session.run()
@@ -329,6 +346,7 @@ def fig17_topology(
     scale: str = "small",
     machine: MachineSpec = TERA100,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> Fig17Result:
     """Communication matrices/graphs: CG.D, EulerMHD, SP, LU (paper 17a-e)."""
     if scale == "paper":
@@ -349,7 +367,9 @@ def fig17_topology(
         raise ConfigError(f"unknown scale {scale!r}")
     result = Fig17Result()
     for name, kernel in workloads:
-        result.reports[name] = _profile_app(kernel, machine, seed, name=name)
+        result.reports[name] = _profile_app(
+            kernel, machine, seed, name=name, telemetry=telemetry
+        )
     return result
 
 
@@ -394,6 +414,7 @@ def fig18_density(
     scale: str = "small",
     machine: MachineSpec = TERA100,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> Fig18Result:
     """Density maps for LU.D and BT.D (paper 18a-e: Send-hit correlation
     with mesh neighbourhood, p2p size imbalance, collective/wait symmetry).
@@ -412,5 +433,7 @@ def fig18_density(
         raise ConfigError(f"unknown scale {scale!r}")
     result = Fig18Result()
     for name, kernel in workloads:
-        result.reports[name] = _profile_app(kernel, machine, seed, name=name)
+        result.reports[name] = _profile_app(
+            kernel, machine, seed, name=name, telemetry=telemetry
+        )
     return result

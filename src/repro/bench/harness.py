@@ -10,6 +10,7 @@ from repro.apps.base import AppKernel
 from repro.core.session import CouplingSession
 from repro.instrument.overhead import InstrumentationCost
 from repro.network.machine import MachineSpec, TERA100
+from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,7 @@ def measure_overhead(
     instrumentation: InstrumentationCost | None = None,
     analysis: AnalysisConfig | None = None,
     mpi_cost=None,
+    telemetry: Telemetry | None = None,
 ) -> OverheadPoint:
     """Instrumented-vs-reference wall-time between MPI_Init and Finalize."""
     session = CouplingSession(
@@ -54,6 +56,7 @@ def measure_overhead(
         instrumentation=instrumentation,
         analysis=analysis,
         mpi_cost=mpi_cost,
+        telemetry=telemetry,
     )
     name = session.add_application(kernel)
     session.set_analyzer(ratio=ratio)

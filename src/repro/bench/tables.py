@@ -9,6 +9,7 @@ from repro.apps.nas import SP
 from repro.bench.harness import measure_overhead
 from repro.core.comparison import run_tool
 from repro.network.machine import CURIE, MachineSpec, TERA100
+from repro.telemetry import Telemetry
 from repro.util.tables import Table
 from repro.util.units import GB, MB
 
@@ -49,6 +50,7 @@ def bi_bandwidth_table(
     scale: str = "small",
     machine: MachineSpec = TERA100,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> BiResult:
     """Bi comparison of SP.C vs SP.D (paper Sec. IV-C, at 900 cores)."""
     if scale == "paper":
@@ -60,7 +62,8 @@ def bi_bandwidth_table(
     result = BiResult(machine=machine.name)
     for klass, paper_value in (("C", "2.37 GB/s"), ("D", "334.99 MB/s")):
         point = measure_overhead(
-            SP(nprocs, klass, iterations=3), machine, ratio=1.0, seed=seed
+            SP(nprocs, klass, iterations=3), machine, ratio=1.0, seed=seed,
+            telemetry=telemetry,
         )
         result.rows.append(
             {
@@ -108,6 +111,7 @@ def trace_size_table(
     scale: str = "small",
     machine: MachineSpec = CURIE,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> TraceSizeResult:
     """Full-run data volumes for SP.D: online streams vs Score-P traces.
 
@@ -123,7 +127,10 @@ def trace_size_table(
     result = TraceSizeResult(machine=machine.name)
     for nprocs in counts:
         for tool in ("online", "scorep_trace"):
-            run = run_tool(SP(nprocs, "D", iterations=3), tool, machine, seed=seed)
+            run = run_tool(
+                SP(nprocs, "D", iterations=3), tool, machine, seed=seed,
+                telemetry=telemetry,
+            )
             result.rows.append(
                 {"tool": tool, "nprocs": nprocs, "volume": run.full_run_volume_bytes}
             )
@@ -171,6 +178,7 @@ def fs_comparison_table(
     scale: str = "small",
     machine: MachineSpec = TERA100,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> FSComparisonResult:
     """Stream throughput against the job-scaled file-system bandwidth."""
     from repro.bench.figures import _stream_point
@@ -192,6 +200,8 @@ def fs_comparison_table(
         fs_scaled=machine.fs_job_bandwidth(writers),
     )
     for ratio in ratios:
-        point = _stream_point(machine, writers, ratio, bytes_per_writer, MIB, seed)
+        point = _stream_point(
+            machine, writers, ratio, bytes_per_writer, MIB, seed, telemetry=telemetry
+        )
         result.rows.append(point)
     return result

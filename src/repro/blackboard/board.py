@@ -10,12 +10,14 @@ ability of any KS to register or remove KSs, including itself.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable
 
 from repro.errors import BlackboardError, UnknownTypeError
 from repro.blackboard.entry import DataEntry, TypeRegistry
 from repro.blackboard.jobs import Job, JobQueues
 from repro.blackboard.ks import KnowledgeSource, Operation
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 class Blackboard:
@@ -26,9 +28,13 @@ class Blackboard:
         nqueues: int = 8,
         seed: int = 0,
         registry: TypeRegistry | None = None,
+        telemetry: Telemetry | None = None,
+        track_pid: int = 0,
     ):
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.track_pid = track_pid
         self.types = registry or TypeRegistry()
-        self.queues = JobQueues(nqueues=nqueues, seed=seed)
+        self.queues = JobQueues(nqueues=nqueues, seed=seed, telemetry=self.telemetry)
         self._sensitivity: dict[int, list[KnowledgeSource]] = {}
         self._ks_lock = threading.RLock()
         self._all_ks: list[KnowledgeSource] = []
@@ -116,6 +122,17 @@ class Blackboard:
 
     def execute(self, job: Job) -> None:
         """Run one job and release its input entries."""
+        tel = self.telemetry
+        span = None
+        t_host = 0.0
+        if tel.enabled:
+            span = tel.span(
+                "blackboard.job",
+                pid=self.track_pid,
+                cat="blackboard",
+                args={"ks": job.ks.name},
+            )
+            t_host = time.perf_counter()
         try:
             job.ks.operation(self, job.entries)
             job.ks.fired += 1
@@ -124,6 +141,12 @@ class Blackboard:
                 self._release_entry(entry)
             with self._stats_lock:
                 self.jobs_executed += 1
+            if span is not None:
+                tel.counter("blackboard.jobs_executed").inc()
+                tel.histogram("blackboard.job_cpu_s").observe(
+                    time.perf_counter() - t_host
+                )
+                span.end()
             with self._idle:
                 self._in_flight -= 1
                 if self._in_flight == 0 and self.queues.empty:
@@ -165,4 +188,5 @@ class Blackboard:
                 "bytes_peak": self.bytes_peak,
                 "bytes_total": self.bytes_total,
                 "jobs_queued": len(self.queues),
+                "lock_failures": self.queues.lock_failures,
             }

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import BlackboardError
 from repro.blackboard.entry import DataEntry
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.blackboard.ks import KnowledgeSource
@@ -31,7 +32,7 @@ class Job:
 class JobQueues:
     """Fixed array of locked FIFOs with random placement and sweep."""
 
-    def __init__(self, nqueues: int = 8, seed: int = 0):
+    def __init__(self, nqueues: int = 8, seed: int = 0, telemetry: Telemetry | None = None):
         if nqueues < 1:
             raise BlackboardError(f"nqueues must be >= 1, got {nqueues}")
         self.nqueues = nqueues
@@ -39,8 +40,10 @@ class JobQueues:
         self._locks = [threading.Lock() for _ in range(nqueues)]
         self._rng = random.Random(seed)
         self._rng_lock = threading.Lock()
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self.pushed = 0
         self.popped = 0
+        self.lock_failures = 0
 
     def push(self, job: Job) -> None:
         """Push to a random FIFO (contention spreading)."""
@@ -49,6 +52,8 @@ class JobQueues:
         with self._locks[idx]:
             self._queues[idx].append(job)
         self.pushed += 1
+        if self._tel.enabled:
+            self._tel.gauge("blackboard.fifo_depth").set(len(self))
 
     def try_pop(self, start: int | None = None) -> Job | None:
         """Sweep all FIFOs from ``start`` (random if None); None when empty."""
@@ -59,6 +64,9 @@ class JobQueues:
             idx = (start + offset) % self.nqueues
             lock = self._locks[idx]
             if not lock.acquire(blocking=False):
+                self.lock_failures += 1
+                if self._tel.enabled:
+                    self._tel.counter("blackboard.lock_contention").inc()
                 continue
             try:
                 queue = self._queues[idx]

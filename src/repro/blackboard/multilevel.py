@@ -16,6 +16,7 @@ from repro.errors import BlackboardError
 from repro.blackboard.board import Blackboard
 from repro.blackboard.entry import DataEntry
 from repro.blackboard.ks import KnowledgeSource
+from repro.telemetry import Telemetry
 
 
 class MultiLevelBlackboard:
@@ -30,12 +31,16 @@ class MultiLevelBlackboard:
         nqueues: int = 8,
         seed: int = 0,
         classify: Callable[[DataEntry], str] | None = None,
+        telemetry: Telemetry | None = None,
+        track_pid: int = 0,
     ):
         if not levels:
             raise BlackboardError("multi-level blackboard needs at least one level")
         if len(set(levels)) != len(levels):
             raise BlackboardError("duplicate level names")
-        self.board = Blackboard(nqueues=nqueues, seed=seed)
+        self.board = Blackboard(
+            nqueues=nqueues, seed=seed, telemetry=telemetry, track_pid=track_pid
+        )
         self.levels = list(levels)
         self._classify = classify or _classify_by_app_id(levels)
         self._inbox_id = self.board.register_type(self.INBOX_TYPE)

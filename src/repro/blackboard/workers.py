@@ -33,6 +33,9 @@ class ThreadPool:
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self.jobs_per_worker = [0] * nworkers
+        # Host-clock busy/idle accounting, always on (see utilization()).
+        self.busy_s = [0.0] * nworkers
+        self.idle_s = [0.0] * nworkers
         self._started = False
 
     def start(self) -> None:
@@ -50,14 +53,24 @@ class ThreadPool:
         rng = random.Random((self.seed << 8) | index)
         backoff = self.BACKOFF_MIN
         while not self._stop.is_set():
+            t0 = time.perf_counter()
             job = self.board.queues.try_pop(start=rng.randrange(self.board.queues.nqueues))
             if job is not None:
                 self.board.execute(job)
+                self.busy_s[index] += time.perf_counter() - t0
                 self.jobs_per_worker[index] += 1
                 backoff = self.BACKOFF_MIN
                 continue
             time.sleep(backoff)
+            self.idle_s[index] += time.perf_counter() - t0
             backoff = min(backoff * 2.0, self.BACKOFF_MAX)
+
+    def utilization(self) -> float:
+        """Fraction of accounted worker time spent executing jobs."""
+        busy, idle = sum(self.busy_s), sum(self.idle_s)
+        if busy + idle <= 0:
+            return 0.0
+        return busy / (busy + idle)
 
     def drain(self, timeout: float = 30.0) -> None:
         """Wait until the board is idle (all submitted work executed)."""
@@ -66,11 +79,16 @@ class ThreadPool:
 
     def stop(self, timeout: float = 5.0) -> None:
         self._stop.set()
+        had_workers = bool(self._threads)
         for t in self._threads:
             t.join(timeout=timeout)
             if t.is_alive():  # pragma: no cover - only on pathological stalls
                 raise BlackboardError(f"worker {t.name} failed to stop")
         self._threads.clear()
+        tel = self.board.telemetry
+        if had_workers and tel.enabled:
+            tel.counter("blackboard.worker_busy_s").inc(sum(self.busy_s))
+            tel.counter("blackboard.worker_idle_s").inc(sum(self.idle_s))
 
     def __enter__(self) -> "ThreadPool":
         self.start()

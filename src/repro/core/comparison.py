@@ -22,6 +22,7 @@ from repro.instrument.overhead import InstrumentationCost
 from repro.iosim.filesystem import ParallelFS
 from repro.iosim.sionlib import SionFile
 from repro.network.machine import CURIE, MachineSpec
+from repro.telemetry import Telemetry
 from repro.vmpi.virtualization import VirtualizedLauncher
 
 TOOLS = (
@@ -63,6 +64,7 @@ def run_tool(
     instrumentation: InstrumentationCost | None = None,
     analysis: AnalysisConfig | None = None,
     amortize_fixed_costs: bool = True,
+    telemetry: Telemetry | None = None,
 ) -> ToolRunResult:
     """Run ``kernel`` under one tool model; returns its wall-time result."""
     if tool not in TOOLS:
@@ -76,6 +78,7 @@ def run_tool(
             seed=seed,
             instrumentation=instrumentation,
             analysis=analysis,
+            telemetry=telemetry,
         )
         name = session.add_application(kernel)
         session.set_analyzer(ratio=ratio)
@@ -94,7 +97,7 @@ def run_tool(
             },
         )
 
-    launcher = VirtualizedLauncher(machine=machine, seed=seed)
+    launcher = VirtualizedLauncher(machine=machine, seed=seed, telemetry=telemetry)
     shared: dict[str, Any] = {"interceptors": []}
     if tool == "reference":
         launcher.add_program(kernel.label, nprocs=kernel.nprocs, main=kernel.main)

@@ -25,6 +25,7 @@ from repro.instrument.interceptor import StreamingInstrumentation
 from repro.instrument.overhead import InstrumentationCost
 from repro.mpi.world import World
 from repro.network.machine import MachineSpec, TERA100
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.vmpi.virtualization import VirtualizedLauncher
 
 #: reserved partition name of the analysis engine
@@ -79,10 +80,12 @@ class CouplingSession:
         instrumentation: InstrumentationCost | None = None,
         analysis: AnalysisConfig | None = None,
         mpi_cost=None,
+        telemetry: Telemetry | None = None,
     ):
         self.machine = machine
         self.seed = seed
         self.mpi_cost = mpi_cost
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.instrumentation = instrumentation or InstrumentationCost()
         self.analysis = analysis or AnalysisConfig(
             block_size=self.instrumentation.block_size,
@@ -141,7 +144,12 @@ class CouplingSession:
         """Launch, simulate to completion, collect the report."""
         if not self._apps:
             raise ConfigError("no applications added")
-        launcher = VirtualizedLauncher(machine=self.machine, seed=self.seed, cost=self.mpi_cost)
+        launcher = VirtualizedLauncher(
+            machine=self.machine,
+            seed=self.seed,
+            cost=self.mpi_cost,
+            telemetry=self.telemetry if self.telemetry.enabled else None,
+        )
         instr_registry: dict[str, list[StreamingInstrumentation]] = {
             name: [] for name, _ in self._apps
         }
@@ -175,8 +183,11 @@ class CouplingSession:
                 packs=sum(i.packs_flushed for i in interceptors),
                 modeled_stream_bytes=sum(i.bytes_streamed_modeled for i in interceptors),
             )
+        report = sink.get("report")
+        if report is not None and self.telemetry.enabled:
+            report.telemetry = self.telemetry.summary()
         return SessionResult(
-            report=sink.get("report"),
+            report=report,
             apps=apps,
             analyzer_walltime=world.app_walltime(ANALYZER_PARTITION),
             analyzer_nprocs=self.analyzer_nprocs,

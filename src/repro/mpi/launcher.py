@@ -18,6 +18,7 @@ from repro.mpi.communicator import Comm
 from repro.mpi.costmodel import CostModel
 from repro.mpi.world import PartitionInfo, ProgramAPI, RankContext, World
 from repro.network.machine import MachineSpec, TERA100
+from repro.telemetry import Telemetry, rank_pid
 
 
 @dataclass
@@ -45,10 +46,12 @@ class MPMDLauncher:
         *,
         seed: int = 0,
         cost: CostModel | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.machine = machine
         self.seed = seed
         self.cost = cost
+        self.telemetry = telemetry
         self.programs: list[ProgramSpec] = []
         self._launched = False
 
@@ -71,7 +74,13 @@ class MPMDLauncher:
         if not self.programs:
             raise ConfigError("no programs added")
         self._launched = True
-        world = World(self.machine, self.total_ranks, seed=self.seed, cost=self.cost)
+        world = World(
+            self.machine,
+            self.total_ranks,
+            seed=self.seed,
+            cost=self.cost,
+            telemetry=self.telemetry,
+        )
         for spec in self.programs:
             world.add_partition(spec.name, spec.nprocs)
         world.universe_group = world.intern_group(
@@ -81,6 +90,11 @@ class MPMDLauncher:
             for global_rank in partition.global_ranks:
                 ctx = RankContext(world, global_rank, partition)
                 world.ranks.append(ctx)
+                if world.telemetry.enabled:
+                    local = global_rank - partition.first_global_rank
+                    world.telemetry.name_track(
+                        rank_pid(global_rank), f"{partition.name}[{local}]"
+                    )
         # Second pass: build APIs and spawn (ranks list must be complete first).
         for partition, spec in zip(world.partitions, self.programs):
             for global_rank in partition.global_ranks:

@@ -22,6 +22,7 @@ from repro.network.cluster import Cluster
 from repro.network.machine import MachineSpec
 from repro.simt import Kernel
 from repro.simt.process import Process
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -57,6 +58,10 @@ class RankContext:
         return self.world.kernel
 
     @property
+    def telemetry(self) -> Telemetry:
+        return self.world.telemetry
+
+    @property
     def node(self) -> int:
         return self.world.cluster.node_of(self.global_rank)
 
@@ -68,11 +73,16 @@ class World:
     """The simulated machine-wide MPI job."""
 
     def __init__(self, machine: MachineSpec, nranks: int, *, seed: int = 0,
-                 cost: CostModel | None = None, kernel: Kernel | None = None):
+                 cost: CostModel | None = None, kernel: Kernel | None = None,
+                 telemetry: Telemetry | None = None):
         if nranks <= 0:
             raise ConfigError(f"world needs nranks > 0, got {nranks}")
         self.machine = machine
-        self.kernel = kernel or Kernel()
+        self.kernel = kernel or Kernel(telemetry=telemetry)
+        self.telemetry = telemetry if telemetry is not None else self.kernel.telemetry
+        if self.telemetry.enabled:
+            # An externally built kernel may not have bound the clock yet.
+            self.telemetry.bind_clock(lambda: self.kernel.now)
         self.cluster = Cluster(self.kernel, machine, nranks)
         self.cost = cost or CostModel.for_machine(
             machine, ranks_per_node=min(nranks, machine.cores_per_node)

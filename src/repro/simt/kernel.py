@@ -15,18 +15,29 @@ from typing import Any, Generator
 from repro.errors import DeadlockError, SimulationError
 from repro.simt.primitives import AllOf, AnyOf, SimEvent, Timeout
 from repro.simt.process import Process
+from repro.telemetry import KERNEL_PID, NULL_TELEMETRY, Telemetry
 
 
 class Kernel:
     """Discrete-event simulation kernel with virtual time in seconds."""
 
-    def __init__(self, *, trace: bool = False):
+    def __init__(self, *, trace: bool = False, telemetry: Telemetry | None = None):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, SimEvent]] = []
         self._seq = 0
         self._processes: list[Process] = []
         self._current: Process | None = None
         self._crashes: list[tuple[Process, BaseException]] = []
+        # The trace debug aid records dispatch markers through telemetry, so
+        # trace=True without an explicit instance gets a private live one.
+        if telemetry is None and trace:
+            telemetry = Telemetry()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if self.telemetry.enabled:
+            self.telemetry.bind_clock(lambda: self.now)
+            self.telemetry.name_track(KERNEL_PID, "simulation kernel")
+            self._ctr_dispatched = self.telemetry.counter("kernel.events_dispatched")
+            self._gauge_heap = self.telemetry.gauge("kernel.heap_depth", pid=KERNEL_PID)
         self.trace = trace
         self.events_dispatched = 0
 
@@ -82,8 +93,17 @@ class Kernel:
         self.events_dispatched += 1
         if event.state == 0:  # PENDING: a scheduled timeout firing now
             event.state = 1  # SUCCEEDED (value was set at creation)
-        if self.trace:  # pragma: no cover - debug aid
-            print(f"[{self.now:.9f}] fire {event!r}")
+        tel = self.telemetry
+        if tel.enabled:
+            self._ctr_dispatched.inc()
+            self._gauge_heap.set(len(self._heap))
+            if self.trace:
+                tel.instant(
+                    "kernel.fire",
+                    pid=KERNEL_PID,
+                    cat="kernel",
+                    args={"event": repr(event)},
+                )
         event._dispatch()
         # A process that crashed with nobody joining it must surface the
         # error instead of silently vanishing from the simulation.
@@ -105,6 +125,12 @@ class Kernel:
         * ``until=<SimEvent>`` — run until that event triggers and return its
           value (raising if it failed).
         """
+        if self.telemetry.enabled:
+            with self.telemetry.span("kernel.run", pid=KERNEL_PID, cat="kernel"):
+                return self._run(until)
+        return self._run(until)
+
+    def _run(self, until: float | SimEvent | None) -> Any:
         if isinstance(until, SimEvent):
             stop_event = until
             # Joining through run() counts as observing the event.

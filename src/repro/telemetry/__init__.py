@@ -1,0 +1,59 @@
+"""Self-telemetry: the measurement system measuring itself.
+
+The reproduction's thesis is that performance measurement should be online
+and file-system-free — this package applies the same standard to the
+simulator's own pipelines.  A :class:`Telemetry` instance carries counters,
+gauges and histograms stamped in **virtual kernel time**, plus a span
+tracer, and exports either a Chrome trace-event JSON (one process row per
+simulated rank; open in Perfetto or ``chrome://tracing``) or JSONL.
+
+Telemetry is off by default everywhere (:data:`NULL_TELEMETRY`, a shared
+no-op registry) and costs one branch per instrumentation point when
+disabled.  Enable it by passing a live instance down the stack::
+
+    from repro import CouplingSession
+    from repro.telemetry import Telemetry
+
+    tel = Telemetry()
+    session = CouplingSession(seed=1, telemetry=tel)
+    ...
+    tel.write_chrome_trace("session.trace.json")
+"""
+
+from repro.telemetry.core import KERNEL_PID, NULL_TELEMETRY, Telemetry, rank_pid
+from repro.telemetry.export import (
+    EXPORTERS,
+    ChromeTraceExporter,
+    JSONLExporter,
+    chrome_trace_dict,
+    jsonl_records,
+)
+from repro.telemetry.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    HistogramMetric,
+)
+from repro.telemetry.spans import NULL_SPAN, Span
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "KERNEL_PID",
+    "rank_pid",
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "Span",
+    "NULL_SPAN",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "EXPORTERS",
+    "ChromeTraceExporter",
+    "JSONLExporter",
+    "chrome_trace_dict",
+    "jsonl_records",
+]

@@ -1,0 +1,142 @@
+"""Exporters: Chrome trace-event JSON and JSONL.
+
+The Chrome format (one ``traceEvents`` array of ``ph``-tagged dicts) loads
+directly in Perfetto or ``chrome://tracing``: spans become complete ``"X"``
+events, instants ``"i"`` events, gauge series ``"C"`` counter tracks, and
+every named track gets a ``process_name`` metadata row — one process row per
+simulated rank.  Timestamps are virtual seconds scaled to microseconds, the
+unit both viewers expect.
+
+JSONL writes one self-describing JSON object per line (spans, instants,
+counters, gauges, histograms), convenient for ad-hoc ``jq``/pandas digestion.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.core import Telemetry
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def chrome_trace_dict(tel: "Telemetry") -> dict[str, Any]:
+    """The full trace as one JSON-serializable dict."""
+    events: list[dict[str, Any]] = []
+    for pid, label in sorted(tel.track_names.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": label},
+            }
+        )
+    for span in tel.spans:
+        event: dict[str, Any] = {
+            "ph": "X",
+            "name": span.name,
+            "cat": span.cat or "span",
+            "pid": span.pid,
+            "tid": span.tid,
+            "ts": span.t0 * _US,
+            "dur": (span.t1 - span.t0) * _US,
+        }
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
+    for inst in tel.instants:
+        event = {
+            "ph": "i",
+            "name": inst["name"],
+            "cat": inst.get("cat") or "instant",
+            "pid": inst["pid"],
+            "tid": 0,
+            "ts": inst["t"] * _US,
+            "s": "p",
+        }
+        if inst.get("args"):
+            event["args"] = inst["args"]
+        events.append(event)
+    for gauge in tel.gauges.values():
+        for t, value in gauge.samples:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": gauge.name,
+                    "pid": gauge.pid,
+                    "tid": 0,
+                    "ts": t * _US,
+                    "args": {"value": value},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def jsonl_records(tel: "Telemetry") -> list[dict[str, Any]]:
+    """One self-describing record per telemetry datum."""
+    records: list[dict[str, Any]] = []
+    for span in tel.spans:
+        records.append(
+            {
+                "kind": "span",
+                "name": span.name,
+                "cat": span.cat,
+                "pid": span.pid,
+                "t0": span.t0,
+                "t1": span.t1,
+                "args": span.args,
+            }
+        )
+    for inst in tel.instants:
+        records.append({"kind": "instant", **inst})
+    for counter in tel.counters.values():
+        records.append({"kind": "counter", "name": counter.name, "value": counter.value})
+    for gauge in tel.gauges.values():
+        records.append(
+            {
+                "kind": "gauge",
+                "name": gauge.name,
+                "pid": gauge.pid,
+                "last": gauge.value,
+                "max": gauge.max,
+                "samples": gauge.samples,
+            }
+        )
+    for histogram in tel.histograms.values():
+        records.append({"kind": "histogram", "name": histogram.name, **histogram.as_dict()})
+    return records
+
+
+class ChromeTraceExporter:
+    """Writes the Perfetto/``chrome://tracing``-loadable trace file."""
+
+    format = "chrome"
+    suffix = ".trace.json"
+
+    def export(self, tel: "Telemetry", path: str) -> str:
+        with open(path, "w") as fh:
+            json.dump(chrome_trace_dict(tel), fh)
+        return path
+
+
+class JSONLExporter:
+    """Writes one JSON object per line."""
+
+    format = "jsonl"
+    suffix = ".jsonl"
+
+    def export(self, tel: "Telemetry", path: str) -> str:
+        with open(path, "w") as fh:
+            for record in jsonl_records(tel):
+                fh.write(json.dumps(record))
+                fh.write("\n")
+        return path
+
+
+#: Registry of the built-in exporters, keyed by format name.
+EXPORTERS = {exp.format: exp for exp in (ChromeTraceExporter(), JSONLExporter())}

@@ -23,6 +23,7 @@ from typing import Callable
 from repro.errors import MappingError
 from repro.mpi.datatypes import ANY_SOURCE
 from repro.mpi.world import PartitionInfo, ProgramAPI
+from repro.telemetry import rank_pid
 from repro.util.rng import derive_rng
 
 # Reserved tag space on the universe communicator.  Tags encode the mapping
@@ -133,9 +134,22 @@ def map_partitions(
     tag_notify = _pair_tag(_KIND_NOTIFY, master.index, slave.index)
     my_global = mpi.ctx.global_rank
     ctx = mpi.ctx
+    tel = ctx.telemetry
+    span = (
+        tel.span(
+            "vmpi.map_partitions",
+            pid=rank_pid(my_global),
+            cat="vmpi",
+            args={"master": master.name, "slave": slave.name, "policy": policy.name},
+        )
+        if tel.enabled
+        else None
+    )
 
     if my_global == pivot:
         yield from _run_pivot(mpi, vmap, master, slave, policy, tag_req, tag_notify)
+        if span is not None:
+            span.end(role="pivot")
         return
 
     if not i_am_master:
@@ -145,6 +159,8 @@ def map_partitions(
     status = yield ctx.mailbox.post(universe.id, ANY_SOURCE, tag_notify, 0.0)
     for peer_global, partition_index in status.payload:
         vmap.add(peer_global, partition_index)
+    if span is not None:
+        span.end(entries=len(status.payload))
 
 
 def _run_pivot(
@@ -160,11 +176,24 @@ def _run_pivot(
     universe = mpi.comm_universe
     ctx = mpi.ctx
     seed = ctx.world.seed
+    tel = ctx.telemetry
+    span = (
+        tel.span(
+            "vmpi.map_pivot",
+            pid=rank_pid(ctx.global_rank),
+            cat="vmpi",
+            args={"slave_size": slave.size},
+        )
+        if tel.enabled
+        else None
+    )
     per_peer: dict[int, list[tuple[int, int]]] = {
         g: [] for g in list(master.global_ranks) + list(slave.global_ranks)
     }
     for _ in range(slave.size):
         status = yield ctx.mailbox.post(universe.id, ANY_SOURCE, tag_req, 0.0)
+        if tel.enabled:
+            tel.counter("vmpi.map_requests").inc()
         slave_global = status.payload
         if slave_global not in per_peer:
             raise MappingError(
@@ -186,3 +215,5 @@ def _run_pivot(
             yield from universe._raw_isend(
                 peer, nbytes=nbytes, tag=tag_notify, payload=tuple(entries)
             )
+    if span is not None:
+        span.end()

@@ -32,6 +32,7 @@ from repro.mpi.status import Status
 from repro.mpi.world import ProgramAPI
 from repro.simt.primitives import SimEvent
 from repro.simt.resources import Resource
+from repro.telemetry import NULL_TELEMETRY, rank_pid
 from repro.util.rng import derive_rng
 from repro.vmpi.mapping import VMPIMap
 
@@ -80,6 +81,11 @@ class VMPIStream:
         self.blocks_read = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        # Lightweight always-on introspection (see stats()).
+        self.eagain_returns = 0
+        self.write_stall_s = 0.0
+        self._tel = NULL_TELEMETRY
+        self._pid = 0
         # writer state
         self._slots: Resource | None = None
         self._rr_next = 0
@@ -110,6 +116,8 @@ class VMPIStream:
         self.mode = mode
         self.endpoints = list(peers)
         self._mpi = mpi
+        self._tel = mpi.ctx.telemetry
+        self._pid = rank_pid(mpi.ctx.global_rank)
         kernel = mpi.ctx.kernel
         if mode == "w":
             self._slots = Resource(kernel, capacity=self.na, name="vmpi.wbuf")
@@ -144,7 +152,18 @@ class VMPIStream:
             raise VMPIError(f"write of {nbytes} outside (0, {self.block_size}]")
         mpi = self._mpi
         kernel = mpi.ctx.kernel
+        tel = self._tel
+        span = (
+            tel.span("stream.write", pid=self._pid, cat="stream", args={"nbytes": nbytes})
+            if tel.enabled
+            else None
+        )
+        t_acquire = kernel.now
         yield self._slots.acquire()
+        # Time spent waiting for a free output buffer: the rendezvous-driven
+        # backpressure stall of a slow reader.
+        stall = kernel.now - t_acquire
+        self.write_stall_s += stall
         # Copy into the asynchronous output buffer.
         copy_time = nbytes / mpi.ctx.world.machine.intra_node_bandwidth
         if copy_time > 0:
@@ -156,6 +175,14 @@ class VMPIStream:
         req.event.add_callback(lambda _ev: self._slots.release())
         self.blocks_written += 1
         self.bytes_written += nbytes
+        if tel.enabled:
+            tel.counter("stream.blocks_written").inc()
+            tel.counter("stream.bytes_written").inc(nbytes)
+            tel.histogram("stream.write_stall_s").observe(stall)
+            tel.gauge("stream.write_buffers_in_flight", pid=self._pid).set(
+                self._slots.in_use
+            )
+            span.end(stall_s=stall)
         return nbytes
 
     def _pick_endpoint(self) -> int:
@@ -196,6 +223,10 @@ class VMPIStream:
         self._require("r", "read")
         mpi = self._mpi
         kernel = mpi.ctx.kernel
+        tel = self._tel
+        span = (
+            tel.span("stream.read", pid=self._pid, cat="stream") if tel.enabled else None
+        )
         while True:
             while self._ready:
                 status = self._ready.popleft()
@@ -205,14 +236,30 @@ class VMPIStream:
                     copy_time = result[0] / mpi.ctx.world.machine.intra_node_bandwidth
                     if copy_time > 0:
                         yield kernel.timeout(copy_time)
+                    if tel.enabled:
+                        tel.counter("stream.blocks_read").inc()
+                        tel.counter("stream.bytes_read").inc(result[0])
+                        tel.gauge("stream.read_buffers_ready", pid=self._pid).set(
+                            len(self._ready)
+                        )
+                        span.end(nbytes=result[0])
                     return result
             if self._closes_pending == 0:
+                if span is not None:
+                    span.end(eof=True)
                 return (EOF, None)
             if nonblock:
+                self.eagain_returns += 1
+                if tel.enabled:
+                    tel.counter("stream.eagain_returns").inc()
+                    span.end(eagain=True)
                 yield kernel.timeout(0.0)
                 return (EAGAIN, None)
+            t_wait = kernel.now
             self._wake = SimEvent(kernel, name="stream.wake")
             yield self._wake
+            if tel.enabled:
+                tel.histogram("stream.read_wait_s").observe(kernel.now - t_wait)
 
     def _consume(self, status: Status) -> tuple[int, Any] | None:
         """Handle one arrived message; None for protocol (close) markers."""
@@ -252,6 +299,31 @@ class VMPIStream:
                 )
         else:
             yield mpi.ctx.kernel.timeout(0.0)
+
+    # -- introspection ------------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Lightweight endpoint introspection, available with telemetry off.
+
+        ``write_buffers_in_flight`` counts output buffers not yet matched by
+        a reader (the paper's adaptation window in use);
+        ``read_buffers_ready`` counts received blocks waiting to be consumed;
+        ``write_stall_s`` is the accumulated backpressure stall and
+        ``eagain_returns`` the number of empty non-blocking reads.
+        """
+        return {
+            "mode": self.mode,
+            "endpoints": len(self.endpoints),
+            "blocks_written": self.blocks_written,
+            "bytes_written": self.bytes_written,
+            "blocks_read": self.blocks_read,
+            "bytes_read": self.bytes_read,
+            "eagain_returns": self.eagain_returns,
+            "write_stall_s": self.write_stall_s,
+            "write_buffers_in_flight": self._slots.in_use if self._slots else 0,
+            "read_buffers_ready": len(self._ready) if self._ready else 0,
+            "closed": self._closed,
+        }
 
     # -- helpers ----------------------------------------------------------------------------
 

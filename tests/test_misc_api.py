@@ -62,7 +62,7 @@ class TestCLI:
                 t.add_row(1)
                 return t
 
-        monkeypatch.setitem(cli._DRIVERS, "fig14", lambda scale, seed: FakeResult())
+        monkeypatch.setitem(cli._DRIVERS, "fig14", lambda scale, seed, telemetry=None: FakeResult())
         assert cli.main(["fig14"]) == 0
         out = capsys.readouterr().out
         assert "fake" in out and "regenerated" in out
@@ -77,7 +77,7 @@ class TestCLI:
                 t.add_row(1, 2)
                 return t
 
-        monkeypatch.setitem(cli._DRIVERS, "fig15", lambda scale, seed: FakeResult())
+        monkeypatch.setitem(cli._DRIVERS, "fig15", lambda scale, seed, telemetry=None: FakeResult())
         cli.main(["fig15", "--csv"])
         assert "a,b\n1,2" in capsys.readouterr().out
 
