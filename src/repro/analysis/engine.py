@@ -109,6 +109,38 @@ class AnalyzerEngine:
             self._wire_level(name, level_states)
         self.packs_ingested = 0
         self.bytes_ingested = 0
+        # Dogfooding channel (see enable_health_ingest): counts of monitor
+        # alerts that travelled through this blackboard as data entries.
+        self.health_counts: dict[str, int] = {}
+        self.health_entries: list[Any] = []
+
+    def enable_health_ingest(self, monitor) -> None:
+        """Let the blackboard analyze the health monitor's own alert stream.
+
+        Registers a ``health_alert`` data type on a monitor-private level
+        and a knowledge source that aggregates alert counts by kind, then
+        binds the monitor's publish path to ``board.submit`` — the paper's
+        knowledge-source engine consuming the measurement pipeline's own
+        telemetry-derived events.
+        """
+        board = self.ml.board
+        type_id = board.register_type("health_alert", level="@health-monitor")
+
+        def watch(_board, entries):
+            for entry in entries:
+                alert = entry.payload
+                self.health_counts[alert.kind] = self.health_counts.get(alert.kind, 0) + 1
+                self.health_entries.append(alert)
+
+        board.register_ks("KS_HealthWatch", [type_id], watch)
+
+        def publish(alert) -> None:
+            # Alerts fire between kernel events, never mid-ingest, so the
+            # inline drain below cannot interleave with pack processing.
+            board.submit(type_id, alert, size=96)
+            board.run_until_idle()
+
+        monitor.bind_blackboard(publish)
 
     def _wire_level(self, level: str, level_states: dict[str, Any]) -> None:
         board = self.ml.board
@@ -211,6 +243,7 @@ def analyzer_program(
     mpi: "ProgramAPI",
     config: AnalysisConfig | None = None,
     sink: dict | None = None,
+    monitor=None,
 ):
     """Generator: the analyzer partition's main (paper Figure 12).
 
@@ -247,6 +280,10 @@ def analyzer_program(
         telemetry=tel,
         track_pid=pid,
     )
+    if monitor is not None and mpi.rank == 0:
+        # The analyzer root's blackboard consumes the health monitor's
+        # alert stream as data entries (dogfooding the architecture).
+        engine.enable_health_ingest(monitor)
 
     while True:
         nbytes, payload = yield from stream.read()
@@ -292,5 +329,6 @@ def analyzer_program(
                 "bytes": total_bytes,
                 "board": engine.ml.board.stats(),
                 "stream": stream.stats(),
+                "health_ingest": dict(engine.health_counts),
             }
     yield from mpi.finalize()

@@ -170,6 +170,9 @@ class ProfileReport:
     #: Self-telemetry summary (``Telemetry.summary()``) when the measurement
     #: pipeline itself ran instrumented; None otherwise.
     telemetry: Optional[dict] = None
+    #: Online health-monitor summary (``HealthMonitor.summary()``) when a
+    #: monitor was attached to the run; None otherwise.
+    health: Optional[dict] = None
 
     def chapter(self, app: str) -> ApplicationReport:
         for ch in self.chapters:
@@ -187,6 +190,8 @@ class ProfileReport:
         parts = header + [ch.render(verbosity) for ch in self.chapters]
         if self.telemetry:
             parts.append(self._render_telemetry())
+        if self.health:
+            parts.append(self._render_health())
         return "\n".join(parts)
 
     def _render_telemetry(self) -> str:
@@ -218,6 +223,58 @@ class ProfileReport:
                 f"- {name}: last={g['last']:.0f} peak={g['peak']:.0f} "
                 f"({int(g['tracks'])} tracks)"
             )
+        out.append("")
+        return "\n".join(out)
+
+    def _render_health(self) -> str:
+        """Online health monitor findings and per-window timelines."""
+        from repro.util.tables import Table
+
+        h = self.health
+        out = ["## Health (online monitor)", ""]
+        out.append(
+            f"- ticks: {h.get('ticks', 0)} at {h.get('interval_s', 0):.3g}s "
+            f"resolution, {h.get('window_s', 0):.3g}s detector window"
+        )
+        out.append(f"- timeline series tracked: {h.get('series_tracked', 0)}")
+        published = h.get("published_to_blackboard", 0)
+        if published:
+            out.append(f"- alerts analyzed by the blackboard: {published}")
+        alerts = h.get("alerts", [])
+        if not alerts:
+            out.append("- alerts raised: none")
+        else:
+            kinds = h.get("by_kind", {})
+            out.append(
+                "- alerts raised: "
+                + ", ".join(f"{k} x{n}" for k, n in sorted(kinds.items()))
+            )
+            for alert in alerts[:12]:
+                detail = alert.get("detail") or {}
+                extra = (
+                    " (" + ", ".join(f"{k}={v}" for k, v in sorted(detail.items())) + ")"
+                    if detail
+                    else ""
+                )
+                out.append(
+                    f"  - [{alert['t_detect']:.6f}s] {alert['severity'].upper()} "
+                    f"{alert['kind']}: {alert['value']:.3g} vs "
+                    f"{alert['threshold']:.3g}{extra}"
+                )
+            if len(alerts) > 12:
+                out.append(f"  - ... and {len(alerts) - 12} more")
+        series = h.get("series", {})
+        if series:
+            out.append("")
+            table = Table(
+                ["series", "last", "high_water", "rate_per_s"],
+                title="Watched timelines (trailing window)",
+            )
+            for name, s in sorted(series.items()):
+                table.add_row(name, s["last"], s["high_water"], s["rate"])
+            out.append("```")
+            out.append(table.render())
+            out.append("```")
         out.append("")
         return "\n".join(out)
 

@@ -10,6 +10,14 @@ Drivers accept a ``scale``:
   4096-rank SP.D, 8281-rank BT.D); expect long runtimes.
 """
 
+from repro.bench.compare import (
+    BenchComparison,
+    MetricDelta,
+    compare_bench,
+    compare_files,
+    load_bench_json,
+    metric_direction,
+)
 from repro.bench.harness import OverheadPoint, measure_overhead, sweep
 from repro.bench.figures import (
     fig14_stream_throughput,
@@ -25,6 +33,12 @@ from repro.bench.tables import (
 )
 
 __all__ = [
+    "BenchComparison",
+    "MetricDelta",
+    "compare_bench",
+    "compare_files",
+    "load_bench_json",
+    "metric_direction",
     "OverheadPoint",
     "measure_overhead",
     "sweep",

@@ -11,12 +11,17 @@ Usage::
     python -m repro.bench trace-sizes
     python -m repro.bench fs-comparison
     python -m repro.bench all
+    python -m repro.bench compare BASELINE.json CANDIDATE.json [--tolerance T]
 
 With ``--json`` each experiment additionally writes ``BENCH_<name>.json``
 (table rows + metadata); adding ``--telemetry`` runs the measurement
 pipeline itself instrumented, embeds the self-telemetry summary in the
 JSON, and dumps ``BENCH_<name>.trace.json`` — a Chrome trace-event file
 loadable in Perfetto or ``chrome://tracing``.
+
+``compare`` diffs two such artefacts with direction-aware per-metric
+tolerances and exits non-zero on regression — the CI gate.  Experiment
+runs can self-gate in one step with ``--baseline BENCH_ref.json``.
 """
 
 from __future__ import annotations
@@ -37,6 +42,8 @@ from repro.bench import (
     fs_comparison_table,
     trace_size_table,
 )
+from repro.bench.compare import compare_bench, compare_files, load_bench_json
+from repro.errors import ConfigError
 from repro.telemetry import Telemetry
 
 _DRIVERS = {
@@ -51,7 +58,58 @@ _DRIVERS = {
 }
 
 
+def _parse_metric_tolerances(pairs: list[str]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for pair in pairs:
+        column, sep, value = pair.partition("=")
+        if not sep or not column:
+            raise ConfigError(
+                f"--metric-tolerance wants COLUMN=FLOAT, got {pair!r}"
+            )
+        try:
+            out[column] = float(value)
+        except ValueError:
+            raise ConfigError(
+                f"--metric-tolerance {column!r}: {value!r} is not a float"
+            ) from None
+    return out
+
+
+def _compare_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench compare",
+        description="Diff two BENCH_*.json artefacts; exit 1 on regression.",
+    )
+    parser.add_argument("baseline", help="reference BENCH_*.json")
+    parser.add_argument("candidate", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed relative drift in the bad direction (default 0.05)",
+    )
+    parser.add_argument(
+        "--metric-tolerance",
+        action="append",
+        default=[],
+        metavar="COLUMN=FLOAT",
+        help="per-column tolerance override; repeatable",
+    )
+    args = parser.parse_args(argv)
+    comparison = compare_files(
+        args.baseline,
+        args.candidate,
+        tolerance=args.tolerance,
+        per_metric=_parse_metric_tolerances(args.metric_tolerance),
+    )
+    print(comparison.render())
+    return 0 if comparison.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "compare":
+        return _compare_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation figures and tables.",
@@ -85,9 +143,23 @@ def main(argv: list[str] | None = None) -> int:
         default=".",
         help="directory for --json/--telemetry artefacts (default: cwd)",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="BENCH_ref.json",
+        help="after running, diff the fresh payload against this artefact "
+        "and exit non-zero on regression (single experiment only)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed relative drift for --baseline (default 0.05)",
+    )
     args = parser.parse_args(argv)
     if args.telemetry:
         args.json = True
+    if args.baseline and args.experiment == "all":
+        parser.error("--baseline gates a single experiment, not 'all'")
 
     outdir = Path(args.outdir)
     if args.json:
@@ -121,6 +193,20 @@ def main(argv: list[str] | None = None) -> int:
             json_path = outdir / f"BENCH_{stem}.json"
             json_path.write_text(json.dumps(payload, indent=2, default=str))
             print(f"[{name}: JSON -> {json_path}]")
+        if args.baseline:
+            payload = {
+                "experiment": name,
+                "scale": args.scale,
+                "seed": args.seed,
+                "columns": table.columns,
+                "rows": table.rows,
+            }
+            comparison = compare_bench(
+                load_bench_json(args.baseline), payload, tolerance=args.tolerance
+            )
+            print(comparison.render())
+            if not comparison.ok:
+                return 1
         print()
     return 0
 

@@ -188,5 +188,6 @@ class Blackboard:
                 "bytes_peak": self.bytes_peak,
                 "bytes_total": self.bytes_total,
                 "jobs_queued": len(self.queues),
+                "jobs_queued_hwm": self.queues.depth_hwm,
                 "lock_failures": self.queues.lock_failures,
             }

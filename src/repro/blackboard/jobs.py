@@ -44,6 +44,7 @@ class JobQueues:
         self.pushed = 0
         self.popped = 0
         self.lock_failures = 0
+        self.depth_hwm = 0
 
     def push(self, job: Job) -> None:
         """Push to a random FIFO (contention spreading)."""
@@ -52,8 +53,11 @@ class JobQueues:
         with self._locks[idx]:
             self._queues[idx].append(job)
         self.pushed += 1
+        depth = len(self)
+        if depth > self.depth_hwm:
+            self.depth_hwm = depth
         if self._tel.enabled:
-            self._tel.gauge("blackboard.fifo_depth").set(len(self))
+            self._tel.gauge("blackboard.fifo_depth").set(depth)
 
     def try_pop(self, start: int | None = None) -> Job | None:
         """Sweep all FIFOs from ``start`` (random if None); None when empty."""

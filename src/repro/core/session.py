@@ -26,6 +26,7 @@ from repro.instrument.overhead import InstrumentationCost
 from repro.mpi.world import World
 from repro.network.machine import MachineSpec, TERA100
 from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.monitor import HealthMonitor, MonitorConfig
 from repro.vmpi.virtualization import VirtualizedLauncher
 
 #: reserved partition name of the analysis engine
@@ -61,6 +62,8 @@ class SessionResult:
     analyzer_nprocs: int
     analyzer_stats: dict[str, Any] | None
     world: World = field(repr=False, default=None)
+    #: ``HealthMonitor.summary()`` when a monitor watched the run.
+    health: dict[str, Any] | None = None
 
     def app(self, name: str) -> AppRun:
         try:
@@ -94,6 +97,7 @@ class CouplingSession:
         self._apps: list[tuple[str, AppKernel]] = []
         self._analyzer_nprocs: int | None = None
         self._ratio: float | None = None
+        self._monitor: HealthMonitor | None = None
 
     # -- configuration ------------------------------------------------------------
 
@@ -126,6 +130,32 @@ class CouplingSession:
             self._ratio = float(ratio)
             self._analyzer_nprocs = None
         return self.analyzer_nprocs
+
+    def enable_monitor(
+        self, config: MonitorConfig | None = None, router=None
+    ) -> HealthMonitor:
+        """Attach an online health monitor to the upcoming run.
+
+        Requires live telemetry (the monitor reads the instrument stream).
+        The monitor samples every instrument into bounded ring series on a
+        periodic kernel callback, raises :class:`HealthAlert`\\ s *during*
+        the simulation, and publishes them onto the analyzer root's
+        blackboard.  It is observation-only: simulation results are
+        bit-identical with the monitor on or off.
+        """
+        if not self.telemetry.enabled:
+            raise ConfigError(
+                "health monitor needs telemetry; construct the session with "
+                "telemetry=Telemetry()"
+            )
+        if self._monitor is not None:
+            raise ConfigError("health monitor already enabled for this session")
+        self._monitor = HealthMonitor(self.telemetry, config=config, router=router)
+        return self._monitor
+
+    @property
+    def monitor(self) -> HealthMonitor | None:
+        return self._monitor
 
     @property
     def total_app_ranks(self) -> int:
@@ -169,8 +199,12 @@ class CouplingSession:
             main=analyzer_program,
             config=self.analysis,
             sink=sink,
+            monitor=self._monitor,
         )
-        world = launcher.run()
+        world = launcher.launch()
+        if self._monitor is not None:
+            self._monitor.attach(world.kernel)
+        world.run()
 
         apps: dict[str, AppRun] = {}
         for name, kernel in self._apps:
@@ -186,6 +220,12 @@ class CouplingSession:
         report = sink.get("report")
         if report is not None and self.telemetry.enabled:
             report.telemetry = self.telemetry.summary()
+        health = None
+        if self._monitor is not None:
+            self._monitor.detach()
+            health = self._monitor.summary()
+            if report is not None:
+                report.health = health
         return SessionResult(
             report=report,
             apps=apps,
@@ -193,6 +233,7 @@ class CouplingSession:
             analyzer_nprocs=self.analyzer_nprocs,
             analyzer_stats=sink.get("analyzer_stats"),
             world=world,
+            health=health,
         )
 
     def run_reference(self) -> SessionResult:

@@ -18,6 +18,22 @@ from repro.simt.process import Process
 from repro.telemetry import KERNEL_PID, NULL_TELEMETRY, Telemetry
 
 
+class PeriodicHook:
+    """One periodic kernel callback (see :meth:`Kernel.call_every`)."""
+
+    __slots__ = ("interval", "fn", "next_due", "active", "fired")
+
+    def __init__(self, interval: float, fn):
+        self.interval = interval
+        self.fn = fn
+        self.next_due = 0.0
+        self.active = True
+        self.fired = 0
+
+    def cancel(self) -> None:
+        self.active = False
+
+
 class Kernel:
     """Discrete-event simulation kernel with virtual time in seconds."""
 
@@ -28,6 +44,7 @@ class Kernel:
         self._processes: list[Process] = []
         self._current: Process | None = None
         self._crashes: list[tuple[Process, BaseException]] = []
+        self._hooks: list[PeriodicHook] = []
         # The trace debug aid records dispatch markers through telemetry, so
         # trace=True without an explicit instance gets a private live one.
         if telemetry is None and trace:
@@ -80,6 +97,51 @@ class Kernel:
     def _record_crash(self, proc: Process, exc: BaseException) -> None:
         self._crashes.append((proc, exc))
 
+    # -- periodic callbacks ------------------------------------------------------
+
+    def call_every(self, interval: float, fn) -> PeriodicHook:
+        """Register ``fn(now)`` to run every ``interval`` virtual seconds.
+
+        Hooks are observers, not events: they never enter the schedule, so
+        they cannot keep the simulation alive — they fire only while real
+        events remain, immediately before the dispatch that first reaches
+        or passes their due time (the clock reads exactly the due time).
+        Multiple hooks due at once fire in registration order, keeping runs
+        deterministic.  A hook must not raise; exceptions propagate out of
+        :meth:`run`.  ``run(until=<deadline>)`` does not fire hooks in the
+        idle gap between the last event and the deadline.
+        """
+        if interval <= 0:
+            raise SimulationError(f"call_every interval must be > 0, got {interval}")
+        hook = PeriodicHook(float(interval), fn)
+        hook.next_due = self.now + hook.interval
+        self._hooks.append(hook)
+        return hook
+
+    def cancel_every(self, hook: PeriodicHook) -> None:
+        hook.cancel()
+        if hook in self._hooks:
+            self._hooks.remove(hook)
+
+    def _fire_hooks(self, upto: float) -> None:
+        """Run every hook due at or before ``upto``, advancing the clock."""
+        while True:
+            due = min(
+                (h.next_due for h in self._hooks if h.active), default=None
+            )
+            if due is None or due > upto:
+                break
+            if due > self.now:
+                self.now = due
+            for hook in list(self._hooks):
+                if hook.active and hook.next_due <= due:
+                    hook.next_due += hook.interval
+                    hook.fired += 1
+                    hook.fn(self.now)
+            if not any(h.active for h in self._hooks):
+                self._hooks = [h for h in self._hooks if h.active]
+                break
+
     # -- the loop ---------------------------------------------------------------
 
     def step(self) -> None:
@@ -89,6 +151,8 @@ class Kernel:
         when, _seq, event = heapq.heappop(self._heap)
         if when < self.now:
             raise SimulationError("time went backwards (kernel bug)")
+        if self._hooks:
+            self._fire_hooks(when)
         self.now = when
         self.events_dispatched += 1
         if event.state == 0:  # PENDING: a scheduled timeout firing now

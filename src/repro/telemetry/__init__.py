@@ -21,6 +21,13 @@ disabled.  Enable it by passing a live instance down the stack::
 """
 
 from repro.telemetry.core import KERNEL_PID, NULL_TELEMETRY, Telemetry, rank_pid
+from repro.telemetry.monitor import (
+    WATCHED_SERIES,
+    HealthAlert,
+    HealthMonitor,
+    MonitorConfig,
+)
+from repro.telemetry.timeline import CUMULATIVE, LEVEL, Timeline, TimeSeries
 from repro.telemetry.export import (
     EXPORTERS,
     ChromeTraceExporter,
@@ -40,6 +47,14 @@ from repro.telemetry.spans import NULL_SPAN, Span
 
 __all__ = [
     "Telemetry",
+    "Timeline",
+    "TimeSeries",
+    "CUMULATIVE",
+    "LEVEL",
+    "HealthMonitor",
+    "HealthAlert",
+    "MonitorConfig",
+    "WATCHED_SERIES",
     "NULL_TELEMETRY",
     "KERNEL_PID",
     "rank_pid",

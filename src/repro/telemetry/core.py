@@ -50,6 +50,7 @@ class Telemetry:
         self.spans: list[Span] = []
         self.instants: list[dict[str, Any]] = []
         self.track_names: dict[int, str] = {}
+        self._open: dict[int, Span] = {}
 
     # -- clock -------------------------------------------------------------------
 
@@ -101,8 +102,16 @@ class Telemetry:
             return NULL_SPAN
         return Span(self, name, pid=pid, tid=tid, cat=cat, args=args)
 
+    def _open_span(self, span: Span) -> None:
+        self._open[id(span)] = span
+
     def _record_span(self, span: Span) -> None:
+        self._open.pop(id(span), None)
         self.spans.append(span)
+
+    def open_spans(self) -> list[Span]:
+        """Spans begun but not yet ended, in start order (mid-run view)."""
+        return sorted(self._open.values(), key=lambda s: s.t0)
 
     def instant(
         self,
@@ -131,7 +140,10 @@ class Telemetry:
         for span in self.spans:
             entry = totals.setdefault(span.name, {"count": 0, "total_s": 0.0})
             entry["count"] += 1
-            entry["total_s"] += span.t1 - span.t0
+            # A span recorded without an end (exporter robustness path)
+            # counts as zero-duration rather than crashing the summary.
+            if span.t1 is not None:
+                entry["total_s"] += span.t1 - span.t0
         return totals
 
     def headline(self) -> dict[str, Any]:
@@ -204,6 +216,7 @@ class Telemetry:
         self.spans.clear()
         self.instants.clear()
         self.track_names.clear()
+        self._open.clear()
 
 
 #: Shared disabled instance: the default for every kernel/world/blackboard.

@@ -23,8 +23,14 @@ _US = 1e6  # trace-event timestamps are microseconds
 
 
 def chrome_trace_dict(tel: "Telemetry") -> dict[str, Any]:
-    """The full trace as one JSON-serializable dict."""
+    """The full trace as one JSON-serializable dict.
+
+    Valid for any telemetry state, not just a finished run: spans that are
+    still open (or were recorded without an end) are clamped to the current
+    clock and tagged ``unfinished`` so a mid-run export loads cleanly.
+    """
     events: list[dict[str, Any]] = []
+    now = tel.now()
     for pid, label in sorted(tel.track_names.items()):
         events.append(
             {
@@ -36,7 +42,11 @@ def chrome_trace_dict(tel: "Telemetry") -> dict[str, Any]:
                 "args": {"name": label},
             }
         )
-    for span in tel.spans:
+    for span in list(tel.spans) + tel.open_spans():
+        t1 = span.t1
+        unfinished = t1 is None
+        if unfinished:
+            t1 = max(now, span.t0)
         event: dict[str, Any] = {
             "ph": "X",
             "name": span.name,
@@ -44,10 +54,12 @@ def chrome_trace_dict(tel: "Telemetry") -> dict[str, Any]:
             "pid": span.pid,
             "tid": span.tid,
             "ts": span.t0 * _US,
-            "dur": (span.t1 - span.t0) * _US,
+            "dur": (t1 - span.t0) * _US,
         }
-        if span.args:
-            event["args"] = span.args
+        if span.args or unfinished:
+            event["args"] = dict(span.args or {})
+            if unfinished:
+                event["args"]["unfinished"] = True
         events.append(event)
     for inst in tel.instants:
         event = {
@@ -78,20 +90,26 @@ def chrome_trace_dict(tel: "Telemetry") -> dict[str, Any]:
 
 
 def jsonl_records(tel: "Telemetry") -> list[dict[str, Any]]:
-    """One self-describing record per telemetry datum."""
+    """One self-describing record per telemetry datum.
+
+    Works on any state, including a completely empty registry (the result
+    is an empty list — a valid, empty JSONL document) and mid-run exports
+    with open spans (``t1`` null, ``unfinished`` true).
+    """
     records: list[dict[str, Any]] = []
-    for span in tel.spans:
-        records.append(
-            {
-                "kind": "span",
-                "name": span.name,
-                "cat": span.cat,
-                "pid": span.pid,
-                "t0": span.t0,
-                "t1": span.t1,
-                "args": span.args,
-            }
-        )
+    for span in list(tel.spans) + tel.open_spans():
+        record = {
+            "kind": "span",
+            "name": span.name,
+            "cat": span.cat,
+            "pid": span.pid,
+            "t0": span.t0,
+            "t1": span.t1,
+            "args": span.args,
+        }
+        if span.t1 is None:
+            record["unfinished"] = True
+        records.append(record)
     for inst in tel.instants:
         records.append({"kind": "instant", **inst})
     for counter in tel.counters.values():

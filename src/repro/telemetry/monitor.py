@@ -1,0 +1,399 @@
+"""Online health monitor: streaming detectors over the telemetry timeline.
+
+PR-1 telemetry is post-mortem — collected during the run, inspected after.
+This module closes the loop in the paper's own spirit: a
+:class:`HealthMonitor` attaches to the simulation kernel's periodic-callback
+hook, snapshots every instrument into the bounded
+:class:`~repro.telemetry.timeline.Timeline` at each tick of *virtual* time,
+and runs online detectors against the windows:
+
+* **stream_stall** — sustained ``EAGAIN`` storms (empty non-blocking reads
+  per second) or a high share of writer time lost to rendezvous
+  backpressure stalls;
+* **backlog_growth** — the blackboard FIFO depth trending upward over a
+  sliding window while already above a floor (the analyzer is falling
+  behind its producers);
+* **load_imbalance** / **worker_starvation** — span-derived busy time per
+  rank track diverging across the partition within the window;
+* **critical_path** — one instrumentation layer (``stream``, ``analysis``,
+  ``blackboard``, …) owning more than a threshold share of all span time
+  in the window.
+
+Alerts are plain frozen dataclasses stamped in virtual time.  They can be
+fanned out through an :class:`repro.analysis.alerts.AlertRouter` and — when
+a :class:`~repro.core.session.CouplingSession` is live — published as data
+entries onto the analyzer's blackboard, so the paper's knowledge-source
+engine analyzes the monitor's own event stream (the architecture eating its
+own dog food).
+
+The monitor is read-only with respect to the simulation: it never schedules
+events, so results are bit-identical with the monitor on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ConfigError
+from repro.telemetry.core import KERNEL_PID, Telemetry
+from repro.telemetry.timeline import Timeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.kernel import Kernel, PeriodicHook
+
+#: the timeline series each detector reads (also what the report tabulates)
+WATCHED_SERIES = (
+    "counter.stream.eagain_returns",
+    "counter.kernel.events_dispatched",
+    "gauge.blackboard.fifo_depth",
+    "gauge.kernel.heap_depth",
+    "hist.stream.write_stall_s.total",
+)
+
+
+@dataclass(frozen=True)
+class HealthAlert:
+    """One online health finding, stamped in virtual kernel time."""
+
+    kind: str  # "stream_stall" | "backlog_growth" | "load_imbalance" |
+    #            "worker_starvation" | "critical_path"
+    t_detect: float
+    severity: str  # "warn" | "critical"
+    value: float
+    threshold: float
+    detail: dict = field(default_factory=dict)
+    source: str = "health_monitor"
+
+    def describe(self) -> str:
+        extra = ""
+        if self.detail:
+            extra = " (" + ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items())) + ")"
+        return (
+            f"[{self.t_detect:.6f}s] {self.severity.upper()} {self.kind}: "
+            f"{self.value:.3g} vs threshold {self.threshold:.3g}{extra}"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "t_detect": self.t_detect,
+            "severity": self.severity,
+            "value": self.value,
+            "threshold": self.threshold,
+            "detail": dict(self.detail),
+            "source": self.source,
+        }
+
+
+@dataclass
+class MonitorConfig:
+    """Detector thresholds and sampling cadence (virtual seconds)."""
+
+    interval: float = 0.005  # tick/sampling resolution
+    window: float = 0.025  # sliding detector window
+    capacity: int = 512  # ring length per timeline series
+    cooldown: float | None = None  # per-kind re-raise spacing; None -> window
+    eagain_rate_threshold: float = 200.0  # empty non-blocking reads per second
+    stall_share_threshold: float = 0.25  # stalled writer-seconds per second
+    backlog_depth_floor: float = 8.0  # FIFO depth below which trend is ignored
+    backlog_slope_threshold: float = 20.0  # FIFO jobs per second of growth
+    imbalance_ratio_threshold: float = 4.0  # max/mean busy-time across tracks
+    starvation_share: float = 0.02  # busy below this share of mean = starved
+    min_busy_share: float = 0.05  # of window mean busy before judging balance
+    critical_path_share: float = 0.85  # single-layer share of all span time
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0 or self.window <= 0:
+            raise ConfigError("monitor interval and window must be positive")
+        if self.window < self.interval:
+            raise ConfigError("monitor window must be >= interval")
+        if self.capacity < 2:
+            raise ConfigError("monitor capacity must be >= 2")
+        if self.cooldown is not None and self.cooldown < 0:
+            raise ConfigError("monitor cooldown must be >= 0")
+        for name in (
+            "eagain_rate_threshold",
+            "stall_share_threshold",
+            "backlog_slope_threshold",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.imbalance_ratio_threshold <= 1:
+            raise ConfigError("imbalance_ratio_threshold must be > 1")
+        if not (0 <= self.starvation_share < 1):
+            raise ConfigError("starvation_share must be in [0, 1)")
+        if not (0 < self.critical_path_share <= 1):
+            raise ConfigError("critical_path_share must be in (0, 1]")
+
+    @property
+    def effective_cooldown(self) -> float:
+        return self.window if self.cooldown is None else self.cooldown
+
+
+class HealthMonitor:
+    """Streaming anomaly detection over a live :class:`Telemetry`."""
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        config: MonitorConfig | None = None,
+        router: Any | None = None,
+    ):
+        if not telemetry.enabled:
+            raise ConfigError(
+                "HealthMonitor needs live telemetry; pass telemetry=Telemetry()"
+            )
+        self.tel = telemetry
+        self.config = config or MonitorConfig()
+        self.router = router
+        self.timeline = Timeline(
+            telemetry, resolution=self.config.interval, capacity=self.config.capacity
+        )
+        self.alerts: list[HealthAlert] = []
+        self.ticks = 0
+        self.published = 0
+        self._raised_until: dict[str, float] = {}
+        self._publish: Callable[[HealthAlert], None] | None = None
+        self._pending_publish: list[HealthAlert] = []
+        self._hook: "PeriodicHook | None" = None
+        self._span_floor = 0  # spans older than this index are outside windows
+
+    # -- kernel wiring ------------------------------------------------------------
+
+    def attach(self, kernel: "Kernel") -> "PeriodicHook":
+        """Subscribe to the kernel's periodic-callback hook."""
+        if self._hook is not None:
+            raise ConfigError("health monitor already attached to a kernel")
+        if kernel.telemetry is not self.tel:
+            raise ConfigError("monitor and kernel must share one Telemetry")
+        self._hook = kernel.call_every(self.config.interval, self._tick)
+        return self._hook
+
+    def detach(self) -> None:
+        if self._hook is not None:
+            self._hook.cancel()
+            self._hook = None
+
+    def _tick(self, now: float) -> None:
+        self.ticks += 1
+        self.timeline.sample(now, force=True)
+        self.evaluate(now)
+
+    # -- detection ----------------------------------------------------------------
+
+    def evaluate(self, now: float) -> list[HealthAlert]:
+        """Run every detector against the trailing window ending at ``now``."""
+        new: list[HealthAlert] = []
+        new += self._detect_stream_stall(now)
+        new += self._detect_backlog(now)
+        busy = self._busy_by_track(now)
+        new += self._detect_worker_balance(now, busy)
+        new += self._detect_critical_path(now)
+        for alert in new:
+            self._emit(alert)
+        return new
+
+    def _detect_stream_stall(self, now: float) -> list[HealthAlert]:
+        cfg = self.config
+        out: list[HealthAlert] = []
+        t_lo = now - cfg.window
+        eagain = self.timeline.get("counter.stream.eagain_returns")
+        if eagain is not None:
+            rate = eagain.window_stats(t_lo)["rate"]
+            if rate > cfg.eagain_rate_threshold:
+                out += self._raise(
+                    "stream_stall", now, rate, cfg.eagain_rate_threshold,
+                    {"signal": "eagain_rate"},
+                )
+        stall = self.timeline.get("hist.stream.write_stall_s.total")
+        if stall is not None:
+            share = stall.window_stats(t_lo)["rate"]  # stalled seconds / second
+            if share > cfg.stall_share_threshold:
+                out += self._raise(
+                    "stream_stall", now, share, cfg.stall_share_threshold,
+                    {"signal": "write_stall_share"},
+                )
+        return out
+
+    def _detect_backlog(self, now: float) -> list[HealthAlert]:
+        cfg = self.config
+        depth = self.timeline.get("gauge.blackboard.fifo_depth")
+        if depth is None:
+            return []
+        stats = depth.window_stats(now - cfg.window)
+        if stats["n"] < 2 or stats["last"] < cfg.backlog_depth_floor:
+            return []
+        slope = depth.slope(now - cfg.window)
+        if slope <= cfg.backlog_slope_threshold:
+            return []
+        return self._raise(
+            "backlog_growth", now, slope, cfg.backlog_slope_threshold,
+            {"depth": stats["last"], "high_water": depth.high_water},
+        )
+
+    def _busy_by_track(self, now: float) -> dict[int, float]:
+        """Span-derived busy seconds per rank track inside the window.
+
+        Nested spans double count; the ratioed detectors only compare
+        tracks against each other, so consistent inflation cancels out.
+        """
+        t_lo = now - self.config.window
+        busy: dict[int, float] = {}
+        spans = self.tel.spans
+        floor = self._span_floor
+        # Spans are appended in end order, so everything before the first
+        # index whose t1 >= t_lo stays out of this and all later windows.
+        for idx in range(len(spans) - 1, floor - 1, -1):
+            span = spans[idx]
+            if span.t1 is not None and span.t1 < t_lo:
+                self._span_floor = max(self._span_floor, idx)
+                break
+            if span.pid == KERNEL_PID:
+                continue
+            t1 = now if span.t1 is None else span.t1
+            overlap = min(t1, now) - max(span.t0, t_lo)
+            if overlap > 0:
+                busy[span.pid] = busy.get(span.pid, 0.0) + overlap
+        for span in self.tel.open_spans():
+            if span.pid == KERNEL_PID:
+                continue
+            overlap = now - max(span.t0, t_lo)
+            if overlap > 0:
+                busy[span.pid] = busy.get(span.pid, 0.0) + overlap
+        return busy
+
+    def _detect_worker_balance(
+        self, now: float, busy: dict[int, float]
+    ) -> list[HealthAlert]:
+        cfg = self.config
+        if len(busy) < 2:
+            return []
+        mean = sum(busy.values()) / len(busy)
+        if mean < cfg.min_busy_share * cfg.window:
+            return []  # everybody mostly idle: nothing to balance
+        out: list[HealthAlert] = []
+        worst_pid, worst = max(busy.items(), key=lambda kv: kv[1])
+        ratio = worst / mean
+        if ratio > cfg.imbalance_ratio_threshold:
+            out += self._raise(
+                "load_imbalance", now, ratio, cfg.imbalance_ratio_threshold,
+                {"pid": worst_pid, "busy_s": round(worst, 9), "tracks": len(busy)},
+            )
+        starved = sorted(
+            pid for pid, b in busy.items() if b <= cfg.starvation_share * mean
+        )
+        if starved:
+            out += self._raise(
+                "worker_starvation", now, float(len(starved)), 0.0,
+                {"pids": starved[:8], "mean_busy_s": round(mean, 9)},
+            )
+        return out
+
+    def _detect_critical_path(self, now: float) -> list[HealthAlert]:
+        cfg = self.config
+        t_lo = now - cfg.window
+        by_layer: dict[str, float] = {}
+        spans = self.tel.spans
+        for idx in range(len(spans) - 1, self._span_floor - 1, -1):
+            span = spans[idx]
+            if span.t1 is not None and span.t1 < t_lo:
+                break
+            if span.pid == KERNEL_PID:
+                continue
+            t1 = now if span.t1 is None else span.t1
+            overlap = min(t1, now) - max(span.t0, t_lo)
+            if overlap > 0:
+                layer = span.cat or "uncategorized"
+                by_layer[layer] = by_layer.get(layer, 0.0) + overlap
+        for span in self.tel.open_spans():
+            if span.pid == KERNEL_PID:
+                continue
+            overlap = now - max(span.t0, t_lo)
+            if overlap > 0:
+                layer = span.cat or "uncategorized"
+                by_layer[layer] = by_layer.get(layer, 0.0) + overlap
+        if len(by_layer) < 2:
+            return []  # a single layer trivially owns 100 %
+        total = sum(by_layer.values())
+        if total <= 0:
+            return []
+        layer, layer_time = max(by_layer.items(), key=lambda kv: kv[1])
+        share = layer_time / total
+        if share <= cfg.critical_path_share:
+            return []
+        return self._raise(
+            "critical_path", now, share, cfg.critical_path_share,
+            {"layer": layer, "layer_s": round(layer_time, 9)},
+        )
+
+    # -- alert plumbing -----------------------------------------------------------
+
+    def _raise(
+        self, kind: str, now: float, value: float, threshold: float, detail: dict
+    ) -> list[HealthAlert]:
+        if self._raised_until.get(kind, -1.0) > now:
+            return []
+        self._raised_until[kind] = now + self.config.effective_cooldown
+        severity = "critical" if threshold > 0 and value >= 2 * threshold else "warn"
+        return [
+            HealthAlert(
+                kind=kind, t_detect=now, severity=severity,
+                value=value, threshold=threshold, detail=detail,
+            )
+        ]
+
+    def _emit(self, alert: HealthAlert) -> None:
+        self.alerts.append(alert)
+        if self.router is not None:
+            self.router.route(alert)
+        if self._publish is not None:
+            self._publish(alert)
+            self.published += 1
+        else:
+            self._pending_publish.append(alert)
+
+    def bind_blackboard(self, submit: Callable[[HealthAlert], None]) -> None:
+        """Route alerts (including ones raised before binding) into a
+        blackboard submit function — the dogfooding path."""
+        self._publish = submit
+        pending, self._pending_publish = self._pending_publish, []
+        for alert in pending:
+            submit(alert)
+            self.published += 1
+
+    # -- summaries ----------------------------------------------------------------
+
+    def by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for alert in self.alerts:
+            out[alert.kind] = out.get(alert.kind, 0) + 1
+        return out
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-serializable state for reports and bench artefacts."""
+        cfg = self.config
+        series: dict[str, Any] = {}
+        for key in WATCHED_SERIES:
+            ts = self.timeline.get(key)
+            if ts is None:
+                continue
+            latest = ts.latest()
+            stats = ts.window_stats(latest[0] - cfg.window) if latest else {}
+            series[key] = {
+                "last": latest[1] if latest else 0.0,
+                "high_water": ts.high_water,
+                "rate": stats.get("rate", 0.0),
+                "points": [[t, v] for t, v in ts.decimated(8)],
+            }
+        return {
+            "ticks": self.ticks,
+            "interval_s": cfg.interval,
+            "window_s": cfg.window,
+            "samples": self.timeline.samples_taken,
+            "series_tracked": len(self.timeline.series),
+            "alerts": [a.as_dict() for a in self.alerts],
+            "by_kind": self.by_kind(),
+            "published_to_blackboard": self.published,
+            "series": series,
+        }

@@ -17,7 +17,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class Span:
-    """One open interval; ``end()`` stamps the close time and records it."""
+    """One open interval; ``end()`` stamps the close time and records it.
+
+    While open, the span is tracked in ``Telemetry.open_spans()`` so a
+    mid-run export (the online monitor's view) still sees in-flight work.
+    """
 
     __slots__ = ("name", "cat", "pid", "tid", "t0", "t1", "args", "_tel")
 
@@ -38,6 +42,7 @@ class Span:
         self.t0 = tel.now()
         self.t1: float | None = None
         self.args = args
+        tel._open_span(self)
 
     @property
     def duration(self) -> float:

@@ -84,6 +84,9 @@ class VMPIStream:
         # Lightweight always-on introspection (see stats()).
         self.eagain_returns = 0
         self.write_stall_s = 0.0
+        self.read_wait_s = 0.0
+        self.write_buffers_hwm = 0
+        self.read_buffers_hwm = 0
         self._tel = NULL_TELEMETRY
         self._pid = 0
         # writer state
@@ -164,6 +167,8 @@ class VMPIStream:
         # backpressure stall of a slow reader.
         stall = kernel.now - t_acquire
         self.write_stall_s += stall
+        if self._slots.in_use > self.write_buffers_hwm:
+            self.write_buffers_hwm = self._slots.in_use
         # Copy into the asynchronous output buffer.
         copy_time = nbytes / mpi.ctx.world.machine.intra_node_bandwidth
         if copy_time > 0:
@@ -208,6 +213,8 @@ class VMPIStream:
     def _on_block(self, ev: SimEvent) -> None:
         status: Status = ev.value
         self._ready.append(status)
+        if len(self._ready) > self.read_buffers_hwm:
+            self.read_buffers_hwm = len(self._ready)
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
             self._wake = None
@@ -258,6 +265,7 @@ class VMPIStream:
             t_wait = kernel.now
             self._wake = SimEvent(kernel, name="stream.wake")
             yield self._wake
+            self.read_wait_s += kernel.now - t_wait
             if tel.enabled:
                 tel.histogram("stream.read_wait_s").observe(kernel.now - t_wait)
 
@@ -308,8 +316,11 @@ class VMPIStream:
         ``write_buffers_in_flight`` counts output buffers not yet matched by
         a reader (the paper's adaptation window in use);
         ``read_buffers_ready`` counts received blocks waiting to be consumed;
-        ``write_stall_s`` is the accumulated backpressure stall and
-        ``eagain_returns`` the number of empty non-blocking reads.
+        ``write_stall_s`` is the accumulated backpressure stall,
+        ``read_wait_s`` the accumulated blocking-read wait and
+        ``eagain_returns`` the number of empty non-blocking reads.  The
+        ``*_hwm`` keys are buffer-occupancy high-water marks, so saturation
+        (hwm pinned at ``NA``) is visible without telemetry enabled.
         """
         return {
             "mode": self.mode,
@@ -320,8 +331,11 @@ class VMPIStream:
             "bytes_read": self.bytes_read,
             "eagain_returns": self.eagain_returns,
             "write_stall_s": self.write_stall_s,
+            "read_wait_s": self.read_wait_s,
             "write_buffers_in_flight": self._slots.in_use if self._slots else 0,
             "read_buffers_ready": len(self._ready) if self._ready else 0,
+            "write_buffers_hwm": self.write_buffers_hwm,
+            "read_buffers_hwm": self.read_buffers_hwm,
             "closed": self._closed,
         }
 

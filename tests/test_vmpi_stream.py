@@ -303,3 +303,47 @@ def test_stream_byte_accounting(machine):
     out = {}
     _coupled(machine, 2, 1, _writer, _reader, out=out, blocks=5)
     assert out["written"] == [5, 5]
+
+
+def test_saturation_stats_always_on(machine):
+    """stats() exposes buffer high-water marks and wait time without telemetry."""
+    out = {}
+
+    def writer(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, "Analyzer", ROUND_ROBIN)
+        st = VMPIStream(na_buffers=2)
+        yield from st.open_map(mpi, vmap, "w")
+        for i in range(12):
+            yield from st.write(payload=i)
+        yield from st.close()
+        out["wstats"] = st.stats()
+        yield from mpi.finalize()
+
+    def reader(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        for i in range(mpi.partition_count()):
+            if i != mpi.partition.index:
+                yield from map_partitions(mpi, vmap, i, ROUND_ROBIN)
+        st = VMPIStream(na_buffers=2)
+        yield from st.open_map(mpi, vmap, "r")
+        while True:
+            n, _payload = yield from st.read()
+            if n == EOF:
+                break
+        yield from st.close()
+        out["rstats"] = st.stats()
+        yield from mpi.finalize()
+
+    _coupled(machine, 1, 1, writer, reader, out=out)
+    w, r = out["wstats"], out["rstats"]
+    # Writer side: the NA slots were exercised and the occupancy peak kept.
+    assert 1 <= w["write_buffers_hwm"] <= 2
+    assert w["read_wait_s"] == 0.0
+    # Reader side: blocking reads accumulated wait; buffers were occupied.
+    assert r["read_wait_s"] > 0.0
+    assert r["read_buffers_hwm"] >= 1
+    for key in ("read_wait_s", "write_buffers_hwm", "read_buffers_hwm"):
+        assert key in w and key in r
