@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, PackFormatError
 from repro.analysis.alerts import AlertMonitor
 from repro.analysis.density import DensityMaps
 from repro.analysis.latesender import LateSenderAnalysis
@@ -30,7 +30,8 @@ from repro.analysis.report import ApplicationReport, ProfileReport
 from repro.analysis.topology import CommMatrix
 from repro.analysis.waitstate import WaitState
 from repro.blackboard.multilevel import MultiLevelBlackboard
-from repro.instrument.packer import decode_pack
+from repro.instrument.packer import decode_pack, pack_content_size, verify_pack
+from repro.mpi.datatypes import ANY_SOURCE
 from repro.telemetry import NULL_TELEMETRY, Telemetry, rank_pid
 from repro.vmpi.mapping import MapPolicy, ROUND_ROBIN, VMPIMap, map_partitions
 from repro.vmpi.stream import BALANCE_ROUND_ROBIN, EOF, VMPIStream
@@ -109,6 +110,7 @@ class AnalyzerEngine:
             self._wire_level(name, level_states)
         self.packs_ingested = 0
         self.bytes_ingested = 0
+        self.packs_rejected = 0
         # Dogfooding channel (see enable_health_ingest): counts of monitor
         # alerts that travelled through this blackboard as data entries.
         self.health_counts: dict[str, int] = {}
@@ -176,12 +178,25 @@ class AnalyzerEngine:
 
     # -- ingestion --------------------------------------------------------------------
 
-    def ingest(self, pack_bytes: bytes) -> None:
-        """Feed one pack and drain the pipeline inline (deterministic)."""
+    def ingest(self, pack_bytes: bytes) -> bool:
+        """Feed one pack and drain the pipeline inline (deterministic).
+
+        The pack's integrity trailer is verified first: a corrupted pack is
+        rejected and counted, never submitted — the analysis pipeline keeps
+        running on whatever arrives intact.  Returns False on rejection.
+        """
+        try:
+            verify_pack(pack_bytes)
+        except PackFormatError:
+            self.packs_rejected += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter("analysis.packs_rejected").inc()
+            return False
         self.ml.submit_pack(pack_bytes)
         self.ml.board.run_until_idle()
         self.packs_ingested += 1
-        self.bytes_ingested += len(pack_bytes)
+        self.bytes_ingested += pack_content_size(pack_bytes)
+        return True
 
     # -- reduction --------------------------------------------------------------------
 
@@ -212,6 +227,35 @@ class AnalyzerEngine:
                 )
             )
         return ProfileReport(chapters=chapters)
+
+
+# Reserved tag for the degraded point-to-point gather (outside the stream
+# and mapping tag spaces at 800k/700k).
+_TAG_DEGRADED_GATHER = 950_000
+
+
+def _degraded_gather(mpi: "ProgramAPI", nbytes: int, payload: Any, dead_local):
+    """Generator: gather to analyzer root 0, skipping dead ranks.
+
+    The collective gather would block forever on a crashed participant;
+    this point-to-point fallback has the root expect exactly one message
+    per *surviving* non-root rank.  Slots of dead ranks stay None.
+    """
+    comm = mpi.comm_world
+    if comm.rank != 0:
+        yield from comm._raw_isend(
+            0, nbytes=nbytes, tag=_TAG_DEGRADED_GATHER, payload=payload
+        )
+        return None
+    out: list[Any] = [None] * comm.size
+    out[0] = payload
+    expected = [r for r in range(1, comm.size) if r not in dead_local]
+    for _ in expected:
+        status = yield mpi.ctx.mailbox.post(
+            comm.id, ANY_SOURCE, _TAG_DEGRADED_GATHER, mpi.ctx.world.cost.o_recv
+        )
+        out[status.source] = status.payload
+    return out
 
 
 def _latesender_exchange(mpi: "ProgramAPI", engine: AnalyzerEngine):
@@ -302,33 +346,64 @@ def analyzer_program(
 
     yield from stream.close()
 
+    # A fault may have killed part of this partition: consult the injector
+    # (None in healthy runs) before entering any collective.
+    faults = world.faults
+    dead_local = faults.dead_local_ranks() if faults is not None else frozenset()
+
     # Distributed stateful analysis (paper Sec. VI): late-sender matching
     # needs both ends of every message on one analyzer rank.  Shard the
     # local send/receive tuples by sending application rank and exchange
-    # them across the analyzer partition, then match locally.
+    # them across the analyzer partition, then match locally.  The
+    # all-to-all cannot survive a dead participant, so degraded runs fall
+    # back to local-only matching.
     if "latesender" in config.modules:
-        yield from _latesender_exchange(mpi, engine)
+        if dead_local:
+            if tel.enabled:
+                tel.counter("analysis.latesender_skipped").inc()
+            for mods in engine.states.values():
+                mods["latesender"].finalize()
+        else:
+            yield from _latesender_exchange(mpi, engine)
 
     # Reduce partial states to the analyzer root.
-    gathered = yield from mpi.comm_world.gather(
-        nbytes=max(64, engine.bytes_ingested // max(1, engine.packs_ingested)),
-        root=0,
-        payload=(engine.states, engine.packs_ingested, engine.bytes_ingested),
+    gather_nbytes = max(64, engine.bytes_ingested // max(1, engine.packs_ingested))
+    gather_payload = (
+        engine.states,
+        engine.packs_ingested,
+        engine.bytes_ingested,
+        engine.packs_rejected,
     )
+    if dead_local:
+        gathered = yield from _degraded_gather(
+            mpi, gather_nbytes, gather_payload, dead_local
+        )
+    else:
+        gathered = yield from mpi.comm_world.gather(
+            nbytes=gather_nbytes, root=0, payload=gather_payload
+        )
     if mpi.rank == 0:
         total_packs = engine.packs_ingested
         total_bytes = engine.bytes_ingested
-        for other_states, other_packs, other_bytes in gathered[1:]:
+        total_rejected = engine.packs_rejected
+        for entry in gathered[1:]:
+            if entry is None:  # dead rank's slot in a degraded gather
+                continue
+            other_states, other_packs, other_bytes, other_rejected = entry
             engine.merge_states(other_states)
             total_packs += other_packs
             total_bytes += other_bytes
+            total_rejected += other_rejected
         if sink is not None:
             sink["report"] = engine.build_report()
             sink["analyzer_stats"] = {
                 "packs": total_packs,
                 "bytes": total_bytes,
+                "packs_rejected": total_rejected,
                 "board": engine.ml.board.stats(),
                 "stream": stream.stats(),
                 "health_ingest": dict(engine.health_counts),
+                "degraded": bool(faults.degraded) if faults is not None else False,
+                "dead_analyzer_ranks": sorted(dead_local),
             }
     yield from mpi.finalize()

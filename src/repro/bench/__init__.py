@@ -18,6 +18,7 @@ from repro.bench.compare import (
     load_bench_json,
     metric_direction,
 )
+from repro.bench.chaos import ChaosPoint, ChaosResult, chaos_resilience, load_plan
 from repro.bench.harness import OverheadPoint, measure_overhead, sweep
 from repro.bench.figures import (
     fig14_stream_throughput,
@@ -42,6 +43,10 @@ __all__ = [
     "OverheadPoint",
     "measure_overhead",
     "sweep",
+    "ChaosPoint",
+    "ChaosResult",
+    "chaos_resilience",
+    "load_plan",
     "fig14_stream_throughput",
     "fig15_overhead",
     "fig16_tool_comparison",

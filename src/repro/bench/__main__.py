@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench bi
     python -m repro.bench trace-sizes
     python -m repro.bench fs-comparison
+    python -m repro.bench chaos [--chaos PLAN]
     python -m repro.bench all
     python -m repro.bench compare BASELINE.json CANDIDATE.json [--tolerance T]
 
@@ -34,6 +35,7 @@ from pathlib import Path
 
 from repro.bench import (
     bi_bandwidth_table,
+    chaos_resilience,
     fig14_stream_throughput,
     fig15_overhead,
     fig16_tool_comparison,
@@ -55,6 +57,7 @@ _DRIVERS = {
     "bi": bi_bandwidth_table,
     "trace-sizes": trace_size_table,
     "fs-comparison": fs_comparison_table,
+    "chaos": chaos_resilience,
 }
 
 
@@ -125,6 +128,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
+        "--chaos",
+        metavar="PLAN",
+        help="fault plan for the 'chaos' experiment: a canned name "
+        "(crash1, degrade, corrupt, drop, stall, mixed) or a JSON plan "
+        "file; default: sweep every canned plan",
+    )
+    parser.add_argument(
         "--csv", action="store_true", help="emit CSV instead of an aligned table"
     )
     parser.add_argument(
@@ -160,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
         args.json = True
     if args.baseline and args.experiment == "all":
         parser.error("--baseline gates a single experiment, not 'all'")
+    if args.chaos and args.experiment != "chaos":
+        parser.error("--chaos only applies to the 'chaos' experiment")
 
     outdir = Path(args.outdir)
     if args.json:
@@ -169,8 +181,11 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         driver = _DRIVERS[name]
         telemetry = Telemetry() if args.telemetry else None
+        kwargs = {}
+        if name == "chaos" and args.chaos:
+            kwargs["plan"] = args.chaos
         t0 = time.perf_counter()
-        result = driver(scale=args.scale, seed=args.seed, telemetry=telemetry)
+        result = driver(scale=args.scale, seed=args.seed, telemetry=telemetry, **kwargs)
         elapsed = time.perf_counter() - t0
         table = result.table()
         print(table.to_csv() if args.csv else table.render())

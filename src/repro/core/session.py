@@ -21,6 +21,7 @@ from repro.errors import ConfigError
 from repro.analysis.engine import AnalysisConfig, analyzer_program
 from repro.analysis.report import ProfileReport
 from repro.apps.base import AppKernel
+from repro.faults import FaultInjector, FaultPlan
 from repro.instrument.interceptor import StreamingInstrumentation
 from repro.instrument.overhead import InstrumentationCost
 from repro.mpi.world import World
@@ -43,6 +44,8 @@ class AppRun:
     events: int
     packs: int
     modeled_stream_bytes: int
+    #: packs discarded by overflow policies or injected transport faults
+    packs_dropped: int = 0
 
     @property
     def bi_bandwidth(self) -> float:
@@ -64,6 +67,13 @@ class SessionResult:
     world: World = field(repr=False, default=None)
     #: ``HealthMonitor.summary()`` when a monitor watched the run.
     health: dict[str, Any] | None = None
+    #: True when any injected fault actually fired during the run.
+    degraded: bool = False
+    #: ``FaultInjector.summary()`` when a fault plan was attached.
+    faults: dict[str, Any] | None = None
+    #: Fraction of emitted packs that never reached analysis (dropped,
+    #: corrupted-and-rejected, or lost to a crash).  0.0 in healthy runs.
+    data_loss_fraction: float = 0.0
 
     def app(self, name: str) -> AppRun:
         try:
@@ -98,6 +108,7 @@ class CouplingSession:
         self._analyzer_nprocs: int | None = None
         self._ratio: float | None = None
         self._monitor: HealthMonitor | None = None
+        self._fault_plan: FaultPlan | None = None
 
     # -- configuration ------------------------------------------------------------
 
@@ -153,6 +164,19 @@ class CouplingSession:
         self._monitor = HealthMonitor(self.telemetry, config=config, router=router)
         return self._monitor
 
+    def inject_faults(self, plan: FaultPlan) -> None:
+        """Attach a fault plan to the upcoming run (chaos testing).
+
+        An empty plan costs nothing: the run stays bit-identical to one
+        without any plan.  Faults target the analyzer partition; see
+        :mod:`repro.faults.plan` for the fault model.
+        """
+        if not isinstance(plan, FaultPlan):
+            raise ConfigError(f"inject_faults() needs a FaultPlan, got {plan!r}")
+        if self._fault_plan is not None:
+            raise ConfigError("fault plan already set for this session")
+        self._fault_plan = plan
+
     @property
     def monitor(self) -> HealthMonitor | None:
         return self._monitor
@@ -202,6 +226,10 @@ class CouplingSession:
             monitor=self._monitor,
         )
         world = launcher.launch()
+        injector: FaultInjector | None = None
+        if self._fault_plan is not None and not self._fault_plan.empty:
+            injector = FaultInjector(self._fault_plan)
+            injector.attach(world, ANALYZER_PARTITION)
         if self._monitor is not None:
             self._monitor.attach(world.kernel)
         world.run()
@@ -216,6 +244,7 @@ class CouplingSession:
                 events=sum(i.events_captured for i in interceptors),
                 packs=sum(i.packs_flushed for i in interceptors),
                 modeled_stream_bytes=sum(i.bytes_streamed_modeled for i in interceptors),
+                packs_dropped=sum(i.packs_dropped for i in interceptors),
             )
         report = sink.get("report")
         if report is not None and self.telemetry.enabled:
@@ -226,14 +255,24 @@ class CouplingSession:
             health = self._monitor.summary()
             if report is not None:
                 report.health = health
+        degraded = injector.degraded if injector is not None else False
+        stats = sink.get("analyzer_stats")
+        attempted = sum(run.packs + run.packs_dropped for run in apps.values())
+        analyzed = stats["packs"] if stats is not None else 0
+        loss = 1.0 - analyzed / attempted if attempted > 0 else 0.0
         return SessionResult(
             report=report,
             apps=apps,
-            analyzer_walltime=world.app_walltime(ANALYZER_PARTITION),
+            analyzer_walltime=world.app_walltime(
+                ANALYZER_PARTITION, skip_missing=degraded
+            ),
             analyzer_nprocs=self.analyzer_nprocs,
-            analyzer_stats=sink.get("analyzer_stats"),
+            analyzer_stats=stats,
             world=world,
             health=health,
+            degraded=degraded,
+            faults=injector.summary() if injector is not None else None,
+            data_loss_fraction=max(0.0, loss),
         )
 
     def run_reference(self) -> SessionResult:

@@ -15,6 +15,22 @@ class SimulationError(ReproError):
     """Errors raised by the discrete-event simulation kernel."""
 
 
+class ProcessCrashError(SimulationError):
+    """A process crashed with no other process joining it.
+
+    Carries the crashed process name and the original exception (also
+    chained as ``__cause__``) so callers can distinguish a genuine crash
+    from a deadlock or a kernel bug.
+    """
+
+    def __init__(self, process_name: str, original: BaseException):
+        self.process_name = process_name
+        self.original = original
+        super().__init__(
+            f"unhandled crash in process {process_name}: {original!r}"
+        )
+
+
 class DeadlockError(SimulationError):
     """The kernel ran out of events while processes were still blocked."""
 

@@ -17,7 +17,15 @@ from repro.instrument.events import (
     encode_event,
     decode_events,
 )
-from repro.instrument.packer import EventPackBuilder, PackHeader, decode_pack, PACK_HEADER_SIZE
+from repro.instrument.packer import (
+    EventPackBuilder,
+    PackHeader,
+    decode_pack,
+    pack_content_size,
+    verify_pack,
+    PACK_HEADER_SIZE,
+    PACK_TRAILER_SIZE,
+)
 from repro.instrument.overhead import InstrumentationCost
 from repro.instrument.interceptor import StreamingInstrumentation
 
@@ -32,7 +40,10 @@ __all__ = [
     "EventPackBuilder",
     "PackHeader",
     "decode_pack",
+    "pack_content_size",
+    "verify_pack",
     "PACK_HEADER_SIZE",
+    "PACK_TRAILER_SIZE",
     "InstrumentationCost",
     "StreamingInstrumentation",
 ]

@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import InstrumentationError
 from repro.instrument.overhead import InstrumentationCost
-from repro.instrument.packer import EventPackBuilder
+from repro.instrument.packer import EventPackBuilder, pack_content_size
 from repro.mpi.pmpi import CallRecord, Interceptor
 from repro.vmpi.mapping import MapPolicy, ROUND_ROBIN, VMPIMap, map_partitions
 from repro.vmpi.stream import BALANCE_ROUND_ROBIN, VMPIStream
@@ -62,10 +62,15 @@ class StreamingInstrumentation(Interceptor):
             balance=BALANCE_ROUND_ROBIN,
             na_buffers=self.cost.na_buffers,
             channel=self.channel,
+            write_timeout=self.cost.write_timeout,
+            max_retries=self.cost.max_retries,
+            backoff_factor=self.cost.backoff_factor,
+            overflow=self.cost.overflow,
         )
         self.events_captured = 0
         self.bytes_streamed_modeled = 0
         self.packs_flushed = 0
+        self.packs_dropped = 0
         self._open = False
         # CPU accounting is batched: per-event costs accrue as a debt that
         # is charged to the timeline in quanta, keeping the discrete-event
@@ -136,11 +141,17 @@ class StreamingInstrumentation(Interceptor):
         if self.builder.count == 0:
             return
         blob = self.builder.emit()
-        modeled = self.cost.modeled_bytes(len(blob))
+        # The integrity trailer rides outside the modelled volume budget:
+        # charge only the header+records content, as before checksums.
+        modeled = self.cost.modeled_bytes(pack_content_size(blob))
         modeled = min(modeled, self.stream.block_size)
         if self.cost.pack_flush_cpu > 0:
             yield self.mpi.ctx.kernel.timeout(self.cost.pack_flush_cpu)
-        yield from self.stream.write(nbytes=modeled, payload=blob)
+        written = yield from self.stream.write(nbytes=modeled, payload=blob)
+        if written == 0:
+            # Overflow policy (or an injected fault) discarded the pack.
+            self.packs_dropped += 1
+            return
         self.bytes_streamed_modeled += modeled
         self.packs_flushed += 1
 

@@ -39,6 +39,12 @@ class InstrumentationCost:
     volume_multiplier: float = 2.0
     block_size: int = 1024 * 1024
     na_buffers: int = 3
+    # Failure-tolerance knobs, forwarded verbatim to the write stream
+    # (see VMPIStream): None write_timeout keeps the classic blocking path.
+    write_timeout: float | None = None
+    max_retries: int = 3
+    backoff_factor: float = 2.0
+    overflow: str = "block"
 
     def __post_init__(self) -> None:
         if self.per_event_cpu < 0 or self.pack_flush_cpu < 0:

@@ -2,16 +2,22 @@
 
 Wire layout::
 
-    u32 magic | u16 version | u16 app_id | u32 rank | u32 count | <count records>
+    u32 magic | u16 version | u16 app_id | u32 rank | u32 count |
+    <count records> | u32 crc32
 
 ``app_id`` is the partition index of the producing application (the
 multi-level blackboard dispatch key), ``rank`` its virtual (per-application)
-rank.
+rank.  The trailing CRC-32 covers header + records, so a pack corrupted in
+flight is rejected by :func:`verify_pack` / :func:`decode_pack` instead of
+poisoning the analyzer.  The trailer is accounting-exempt: pack capacity,
+``size_bytes`` and the modelled stream volume all budget header + records
+only, keeping simulated figures independent of the integrity envelope.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +32,9 @@ _VERSION = 1
 _HEADER_FMT = "<IHHII"
 PACK_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 assert PACK_HEADER_SIZE == 16
+_TRAILER_FMT = "<I"
+PACK_TRAILER_SIZE = struct.calcsize(_TRAILER_FMT)
+assert PACK_TRAILER_SIZE == 4
 
 
 @dataclass(frozen=True)
@@ -83,30 +92,60 @@ class EventPackBuilder:
         header = struct.pack(
             _HEADER_FMT, _MAGIC, _VERSION, self.app_id, self.rank, len(self._records)
         )
-        blob = header + b"".join(self._records)
+        content = header + b"".join(self._records)
+        blob = content + struct.pack(_TRAILER_FMT, zlib.crc32(content))
         self._records.clear()
         self.packs_emitted += 1
         return blob
 
 
-def decode_pack(blob: bytes | memoryview) -> tuple[PackHeader, np.ndarray]:
-    """Decode one pack into its header and event array.
+def pack_content_size(blob: bytes | memoryview) -> int:
+    """Size of a pack's header + records, excluding the CRC trailer.
 
-    Raises :class:`PackFormatError` on bad magic/version/size.
+    This is the quantity all modelling and byte accounting use, so the
+    integrity envelope never shifts simulated volumes.
     """
-    view = memoryview(blob)
-    if len(view) < PACK_HEADER_SIZE:
-        raise PackFormatError(f"pack of {len(view)} bytes shorter than header")
+    return len(blob) - PACK_TRAILER_SIZE
+
+
+def verify_pack(blob: bytes | memoryview) -> PackHeader:
+    """Check a pack's structure and CRC without decoding the events.
+
+    Returns the parsed header; raises :class:`PackFormatError` if the pack
+    is truncated or its checksum does not match (corruption in flight).
+    """
+    try:
+        view = memoryview(blob)
+    except TypeError:
+        raise PackFormatError(f"pack payload is not bytes: {type(blob).__name__}")
+    if len(view) < PACK_HEADER_SIZE + PACK_TRAILER_SIZE:
+        raise PackFormatError(f"pack of {len(view)} bytes shorter than header+trailer")
     magic, version, app_id, rank, count = struct.unpack_from(_HEADER_FMT, view, 0)
     if magic != _MAGIC:
         raise PackFormatError(f"bad pack magic {magic:#010x}")
     if version != _VERSION:
         raise PackFormatError(f"unsupported pack version {version}")
-    expected = PACK_HEADER_SIZE + count * EVENT_RECORD_SIZE
+    (stored,) = struct.unpack_from(_TRAILER_FMT, view, len(view) - PACK_TRAILER_SIZE)
+    actual = zlib.crc32(view[: len(view) - PACK_TRAILER_SIZE])
+    if stored != actual:
+        raise PackFormatError(
+            f"pack checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )
+    return PackHeader(app_id=app_id, rank=rank, count=count)
+
+
+def decode_pack(blob: bytes | memoryview) -> tuple[PackHeader, np.ndarray]:
+    """Decode one pack into its header and event array.
+
+    Raises :class:`PackFormatError` on bad magic/version/size/checksum.
+    """
+    view = memoryview(blob)
+    header = verify_pack(view)
+    expected = PACK_HEADER_SIZE + header.count * EVENT_RECORD_SIZE + PACK_TRAILER_SIZE
     if len(view) != expected:
         raise PackFormatError(
             f"pack of {len(view)} bytes, header implies {expected}"
         )
-    header = PackHeader(app_id=app_id, rank=rank, count=count)
-    events = decode_events(view[PACK_HEADER_SIZE:], count)
+    events = decode_events(view[PACK_HEADER_SIZE : len(view) - PACK_TRAILER_SIZE],
+                           header.count)
     return header, events

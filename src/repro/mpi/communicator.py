@@ -227,7 +227,9 @@ class Comm:
             match_event=match_event,
         )
         ctx.world.ranks[g_dst].mailbox.deliver(env)
-        return Request(kernel, completion, "send")
+        req = Request(kernel, completion, "send")
+        req.envelope = env
+        return req
 
     def _isend_impl(self, dest: int, nbytes: int, tag: int, payload: Any):
         req = yield from self._raw_isend(dest, nbytes, tag, payload)

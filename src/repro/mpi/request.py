@@ -20,12 +20,15 @@ class Request:
     (sends).  ``test()`` polls without blocking.
     """
 
-    __slots__ = ("kernel", "event", "kind", "_consumed")
+    __slots__ = ("kernel", "event", "kind", "envelope", "_consumed")
 
     def __init__(self, kernel: "Kernel", event: SimEvent, kind: str):
         self.kernel = kernel
         self.event = event
         self.kind = kind  # "send" | "recv"
+        #: For sends: the in-flight Envelope, until delivery consumes it.
+        #: Lets transport-level fault handling reach unmatched messages.
+        self.envelope = None
         self._consumed = False
 
     @property

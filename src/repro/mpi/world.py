@@ -94,6 +94,12 @@ class World:
         self.partitions: list[PartitionInfo] = []
         self.ranks: list[RankContext] = []
         self.universe_group: CommGroup | None = None
+        #: Open VMPI streams as ``(global_rank, stream)``, in open order.
+        #: Plain bookkeeping (no events), used by fault injection to find
+        #: the endpoints affected by a crashed or degraded rank.
+        self.streams: list[tuple[int, Any]] = []
+        #: The attached FaultInjector, if this run is under a fault plan.
+        self.faults: Any | None = None
 
     # -- group registry ------------------------------------------------------------
 
@@ -147,11 +153,17 @@ class World:
         """Advance the simulation (to completion by default)."""
         self.kernel.run(until)
 
-    def app_walltime(self, partition: PartitionInfo | str) -> float:
+    def app_walltime(
+        self, partition: PartitionInfo | str, *, skip_missing: bool = False
+    ) -> float:
         """Wall-time of a partition between MPI_Init and MPI_Finalize.
 
         Measured as the paper does: the span from the first rank entering
         ``MPI_Init`` to the last rank leaving ``MPI_Finalize``.
+
+        With ``skip_missing`` the span covers only ranks that completed both
+        calls — the degraded-run measurement after a fault killed part of
+        the partition (at least one rank must have completed).
         """
         if isinstance(partition, str):
             found = self.partition_by_name(partition)
@@ -159,6 +171,12 @@ class World:
                 raise ConfigError(f"no partition named {partition!r}")
             partition = found
         ctxs = [self.ranks[g] for g in partition.global_ranks]
+        if skip_missing:
+            ctxs = [c for c in ctxs if c.t_init is not None and c.t_finalize is not None]
+            if not ctxs:
+                raise MPIError(
+                    f"partition {partition.name!r}: no rank completed init/finalize"
+                )
         inits = [c.t_init for c in ctxs]
         finals = [c.t_finalize for c in ctxs]
         if any(t is None for t in inits) or any(t is None for t in finals):

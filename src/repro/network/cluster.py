@@ -96,6 +96,10 @@ class Cluster:
         self.bytes_internode = 0
         self.bytes_intranode = 0
         self.bytes_crossleaf = 0
+        # Fault-injected extra per-node latency; empty in healthy runs so
+        # the latency() hot path stays untouched (pay-for-what-you-use).
+        self._extra_latency: dict[int, float] = {}
+        self.degraded_nodes = 0
 
     # -- queries ---------------------------------------------------------------
 
@@ -113,7 +117,35 @@ class Cluster:
             return self.machine.intra_node_latency
         # Per-hop share of the end-to-end budget; 4 hops is the common case.
         per_hop = self.machine.nic_latency / 4.0
-        return self.topology.latency(src_n, dst_n, per_hop, base=self.machine.nic_latency)
+        lat = self.topology.latency(src_n, dst_n, per_hop, base=self.machine.nic_latency)
+        if self._extra_latency:
+            lat += self._extra_latency.get(src_n, 0.0) + self._extra_latency.get(dst_n, 0.0)
+        return lat
+
+    # -- fault injection -----------------------------------------------------------
+
+    def degrade_node(
+        self, node: int, *, bandwidth_factor: float = 1.0, extra_latency: float = 0.0
+    ) -> None:
+        """Degrade one node's links: cut NIC bandwidth and/or add latency.
+
+        Models a flaky link or failing switch port next to ``node``.  Only
+        future transfers are affected; already-committed ones complete at
+        their original times, so injection at time *t* is deterministic.
+        """
+        if node not in self._nic:
+            raise ConfigError(f"node {node} hosts no ranks in this job")
+        if bandwidth_factor <= 0:
+            raise ConfigError(f"bandwidth_factor must be > 0, got {bandwidth_factor}")
+        if extra_latency < 0:
+            raise ConfigError(f"extra_latency must be >= 0, got {extra_latency}")
+        out_pipe, in_pipe = self._nic[node]
+        if bandwidth_factor != 1.0:
+            out_pipe.scale_bandwidth(bandwidth_factor)
+            in_pipe.scale_bandwidth(bandwidth_factor)
+        if extra_latency > 0:
+            self._extra_latency[node] = self._extra_latency.get(node, 0.0) + extra_latency
+        self.degraded_nodes += 1
 
     # -- data movement -----------------------------------------------------------
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, ProcessCrashError, SimulationError
 from repro.simt.primitives import AllOf, AnyOf, SimEvent, Timeout
 from repro.simt.process import Process
 from repro.telemetry import KERNEL_PID, NULL_TELEMETRY, Telemetry
@@ -176,9 +176,7 @@ class Kernel:
             and event.state == 2  # FAILED
             and event.num_waiters == 0
         ):
-            raise SimulationError(
-                f"unhandled crash in process {event.name}: {event.value!r}"
-            ) from event.value
+            raise ProcessCrashError(event.name, event.value) from event.value
 
     def run(self, until: float | SimEvent | None = None) -> Any:
         """Run to completion, to a deadline, or until an event fires.

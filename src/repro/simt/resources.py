@@ -52,6 +52,18 @@ class Resource:
         else:
             self.in_use -= 1
 
+    def cancel(self, ev: SimEvent) -> bool:
+        """Withdraw a still-queued acquire; True if it was removed.
+
+        An acquire that already succeeded holds a slot and cannot be
+        cancelled — the caller owns it and must release it.
+        """
+        try:
+            self._waiters.remove(ev)
+            return True
+        except ValueError:
+            return False
+
     @property
     def queue_length(self) -> int:
         return len(self._waiters)
@@ -139,6 +151,17 @@ class Pipe:
         self.bytes_transferred = 0
         self.busy_time = 0.0
         self.transfers = 0
+
+    def scale_bandwidth(self, factor: float) -> float:
+        """Multiply the pipe's bandwidth by ``factor`` (fault injection).
+
+        Transfers already committed keep their completion times; only
+        future commits see the new rate.  Returns the new bandwidth.
+        """
+        if factor <= 0:
+            raise SimulationError(f"bandwidth factor must be > 0, got {factor}")
+        self.bandwidth *= factor
+        return self.bandwidth
 
     def commit(self, nbytes: float) -> float:
         """Book ``nbytes`` on the pipe; returns the absolute completion time.

@@ -49,6 +49,26 @@ WATCHED_SERIES = (
     "gauge.blackboard.fifo_depth",
     "gauge.kernel.heap_depth",
     "hist.stream.write_stall_s.total",
+    "counter.faults.injected",
+    "counter.stream.blocks_dropped",
+    "counter.analysis.packs_rejected",
+    "counter.vmpi.rank_remaps",
+)
+
+#: Cumulative fault/defence counters watched edge-triggered: any increase
+#: between ticks raises the mapped alert kind at the given severity.  These
+#: series only exist once a fault (or a defensive reaction) happened, so the
+#: detector is free on healthy runs.
+FAULT_WATCH = (
+    ("counter.faults.analyzer_crash", "analyzer_crash", "critical"),
+    ("counter.vmpi.rank_remaps", "analyzer_failover", "critical"),
+    ("counter.faults.link_degraded", "link_degraded", "warn"),
+    ("counter.faults.pack_corrupted", "pack_corruption", "warn"),
+    ("counter.faults.pack_dropped", "pack_drop", "warn"),
+    ("counter.faults.analyzer_stalled", "analyzer_stall", "warn"),
+    ("counter.analysis.packs_rejected", "pack_checksum_reject", "warn"),
+    ("counter.stream.write_timeouts", "stream_write_timeout", "warn"),
+    ("counter.stream.blocks_dropped", "stream_overflow_drop", "warn"),
 )
 
 
@@ -57,7 +77,11 @@ class HealthAlert:
     """One online health finding, stamped in virtual kernel time."""
 
     kind: str  # "stream_stall" | "backlog_growth" | "load_imbalance" |
-    #            "worker_starvation" | "critical_path"
+    #            "worker_starvation" | "critical_path" | the FAULT_WATCH
+    #            kinds (analyzer_crash, analyzer_failover, link_degraded,
+    #            pack_corruption, pack_drop, analyzer_stall,
+    #            pack_checksum_reject, stream_write_timeout,
+    #            stream_overflow_drop)
     t_detect: float
     severity: str  # "warn" | "critical"
     value: float
@@ -154,6 +178,7 @@ class HealthMonitor:
         self.ticks = 0
         self.published = 0
         self._raised_until: dict[str, float] = {}
+        self._fault_seen: dict[str, float] = {}
         self._publish: Callable[[HealthAlert], None] | None = None
         self._pending_publish: list[HealthAlert] = []
         self._hook: "PeriodicHook | None" = None
@@ -190,9 +215,42 @@ class HealthMonitor:
         busy = self._busy_by_track(now)
         new += self._detect_worker_balance(now, busy)
         new += self._detect_critical_path(now)
+        new += self._detect_faults(now)
         for alert in new:
             self._emit(alert)
         return new
+
+    def _detect_faults(self, now: float) -> list[HealthAlert]:
+        """Edge-triggered watch over cumulative fault/defence counters.
+
+        Unlike the windowed detectors, these series are born mid-run at the
+        first fault, so rates over a fixed window would be meaningless —
+        any increase since the last tick is the signal.
+        """
+        out: list[HealthAlert] = []
+        for series, kind, severity in FAULT_WATCH:
+            ts = self.timeline.get(series)
+            if ts is None:
+                continue
+            latest = ts.latest()
+            if latest is None:
+                continue
+            value = latest[1]
+            last = self._fault_seen.get(series, 0.0)
+            if value <= last:
+                continue
+            self._fault_seen[series] = value
+            if self._raised_until.get(kind, -1.0) > now:
+                continue
+            self._raised_until[kind] = now + self.config.effective_cooldown
+            out.append(
+                HealthAlert(
+                    kind=kind, t_detect=now, severity=severity,
+                    value=value, threshold=0.0,
+                    detail={"series": series, "delta": value - last},
+                )
+            )
+        return out
 
     def _detect_stream_stall(self, now: float) -> list[HealthAlert]:
         cfg = self.config
@@ -386,7 +444,7 @@ class HealthMonitor:
                 "rate": stats.get("rate", 0.0),
                 "points": [[t, v] for t, v in ts.decimated(8)],
             }
-        return {
+        out = {
             "ticks": self.ticks,
             "interval_s": cfg.interval,
             "window_s": cfg.window,
@@ -397,3 +455,9 @@ class HealthMonitor:
             "published_to_blackboard": self.published,
             "series": series,
         }
+        if self.router is not None:
+            out["router"] = {
+                "routed": self.router.routed,
+                "dropped": self.router.dropped,
+            }
+        return out

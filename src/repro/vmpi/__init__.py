@@ -22,12 +22,16 @@ from repro.vmpi.mapping import (
     RANDOM,
     FIXED,
     map_partitions,
+    remap_orphans,
 )
 from repro.vmpi.stream import (
     VMPIStream,
     BALANCE_NONE,
     BALANCE_RANDOM,
     BALANCE_ROUND_ROBIN,
+    OVERFLOW_BLOCK,
+    OVERFLOW_DROP_NEWEST,
+    OVERFLOW_DROP_OLDEST,
     EAGAIN,
     EOF,
 )
@@ -40,10 +44,14 @@ __all__ = [
     "RANDOM",
     "FIXED",
     "map_partitions",
+    "remap_orphans",
     "VMPIStream",
     "BALANCE_NONE",
     "BALANCE_RANDOM",
     "BALANCE_ROUND_ROBIN",
+    "OVERFLOW_BLOCK",
+    "OVERFLOW_DROP_NEWEST",
+    "OVERFLOW_DROP_OLDEST",
     "EAGAIN",
     "EOF",
 ]

@@ -93,6 +93,25 @@ class VMPIMap:
         return len(self.entries)
 
 
+def remap_orphans(
+    orphans: list[int], survivors: list[int]
+) -> dict[int, int]:
+    """Reassign orphaned mapped ranks onto surviving peers (failover).
+
+    When an analyzer rank dies, the instrumented ranks it served become
+    orphans; this computes the degraded mapping — deterministic round-robin
+    of the sorted orphans over the sorted survivors — used by fault handling
+    to re-route streams.  Returns ``{orphan_global: survivor_global}``.
+    """
+    if not survivors:
+        raise MappingError("no surviving ranks to remap orphans onto")
+    targets = sorted(survivors)
+    return {
+        orphan: targets[i % len(targets)]
+        for i, orphan in enumerate(sorted(orphans))
+    }
+
+
 def map_partitions(
     mpi: ProgramAPI,
     vmap: VMPIMap,

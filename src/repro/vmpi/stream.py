@@ -20,12 +20,29 @@ Backpressure is physical, not simulated-by-fiat: blocks above the eager
 threshold use rendezvous sends, which only complete once the reader has a
 receive buffer posted — a slow reader therefore stalls the writer exactly
 when writer slots and reader buffers are exhausted.
+
+Failure tolerance (this layer's extensions, all pay-for-what-you-use):
+
+* ``write_timeout`` arms a bounded retry loop around output-buffer
+  acquisition: each expiry counts a timeout, retries back off exponentially
+  (``backoff_factor``), and after ``max_retries`` the ``overflow`` policy
+  decides — keep blocking (:data:`OVERFLOW_BLOCK`), discard the new block
+  (:data:`OVERFLOW_DROP_NEWEST`), or reclaim the oldest still-unmatched
+  in-flight block (:data:`OVERFLOW_DROP_OLDEST`).  With ``write_timeout``
+  left at ``None`` (the default) the acquisition path is byte-identical to
+  the non-tolerant stream.
+* ``fail_endpoint`` / ``adopt_endpoint`` / ``adopt_peer`` support analyzer
+  failover: a writer detaches a crashed reader (reclaiming in-flight
+  buffers) and attaches a survivor; the survivor's read endpoint adopts the
+  orphaned writer, posting fresh NA buffers and expecting its close marker.
+* A ``set_tamper`` hook lets fault injection corrupt or drop blocks at the
+  transport boundary; every drop path is accounted in :meth:`stats`.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import StreamClosedError, VMPIError
 from repro.mpi.status import Status
@@ -47,10 +64,37 @@ BALANCE_ROUND_ROBIN = "round_robin"
 
 _VALID_POLICIES = (BALANCE_NONE, BALANCE_RANDOM, BALANCE_ROUND_ROBIN)
 
+#: Overflow policies applied when a timed write exhausts its retries.
+OVERFLOW_BLOCK = "block"
+OVERFLOW_DROP_NEWEST = "drop-newest"
+OVERFLOW_DROP_OLDEST = "drop-oldest"
+
+_VALID_OVERFLOW = (OVERFLOW_BLOCK, OVERFLOW_DROP_NEWEST, OVERFLOW_DROP_OLDEST)
+
 _TAG_STREAM_BASE = 800_000
 
 #: payload marker of a close message
 _CLOSE = "__vmpi_stream_close__"
+#: payload tombstone of a block reclaimed by OVERFLOW_DROP_OLDEST — the
+#: reader consumes the buffer but discards the (now meaningless) block.
+_DROPPED = "__vmpi_stream_dropped__"
+
+
+class _InFlight:
+    """One committed output buffer, until its send completes.
+
+    ``live`` means the buffer still holds a slot; fault handling (endpoint
+    crash, drop-oldest reclaim) clears it so the completion callback knows
+    the slot was already taken care of.
+    """
+
+    __slots__ = ("dest", "nbytes", "env", "live")
+
+    def __init__(self, dest: int, nbytes: int):
+        self.dest = dest
+        self.nbytes = nbytes
+        self.env = None  # Envelope, set once _raw_isend returns
+        self.live = True
 
 
 class VMPIStream:
@@ -62,6 +106,10 @@ class VMPIStream:
         balance: str = BALANCE_ROUND_ROBIN,
         na_buffers: int = 3,
         channel: int = 0,
+        write_timeout: float | None = None,
+        max_retries: int = 3,
+        backoff_factor: float = 2.0,
+        overflow: str = OVERFLOW_BLOCK,
     ):
         if block_size <= 0:
             raise VMPIError(f"block_size must be > 0, got {block_size}")
@@ -71,10 +119,22 @@ class VMPIStream:
             raise VMPIError(f"na_buffers must be >= 1, got {na_buffers}")
         if not (0 <= channel < 10_000):
             raise VMPIError(f"channel must be in [0, 10000), got {channel}")
+        if write_timeout is not None and write_timeout <= 0:
+            raise VMPIError(f"write_timeout must be > 0, got {write_timeout}")
+        if max_retries < 0:
+            raise VMPIError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_factor < 1.0:
+            raise VMPIError(f"backoff_factor must be >= 1, got {backoff_factor}")
+        if overflow not in _VALID_OVERFLOW:
+            raise VMPIError(f"unknown overflow policy {overflow!r}")
         self.block_size = block_size
         self.balance = balance
         self.na = na_buffers
         self.channel = channel
+        self.write_timeout = write_timeout
+        self.max_retries = max_retries
+        self.backoff_factor = backoff_factor
+        self.overflow = overflow
         self.mode: str | None = None
         self.endpoints: list[int] = []  # peer global ranks
         self.blocks_written = 0
@@ -87,16 +147,33 @@ class VMPIStream:
         self.read_wait_s = 0.0
         self.write_buffers_hwm = 0
         self.read_buffers_hwm = 0
+        # Failure-tolerance accounting (all zero in healthy runs).
+        self.write_retries = 0
+        self.write_timeouts = 0
+        self.blocks_dropped = 0
+        self.bytes_dropped = 0
+        self.injected_drops = 0
+        self.injected_corruptions = 0
+        self.blocks_lost_to_crash = 0
+        self.bytes_lost_to_crash = 0
+        self.endpoints_failed = 0
+        self.peers_adopted = 0
+        self.blocks_discarded_at_close = 0
+        self.bytes_discarded_at_close = 0
+        self.stale_blocks_discarded = 0
         self._tel = NULL_TELEMETRY
         self._pid = 0
         # writer state
         self._slots: Resource | None = None
         self._rr_next = 0
         self._rng = None
+        self._inflight: list[_InFlight] = []
+        self._tamper: Callable[["VMPIStream", int, Any], tuple[str | None, Any]] | None = None
         # reader state
         self._ready: deque[Status] | None = None
         self._wake: SimEvent | None = None
         self._closes_pending = 0
+        self._stall_until: float | None = None
         self._mpi: ProgramAPI | None = None
         self._closed = False
 
@@ -135,6 +212,10 @@ class VMPIStream:
             for peer in peers:
                 for _ in range(self.na):
                     self._post_recv(peer)
+        world = mpi.ctx.world
+        world.streams.append((mpi.ctx.global_rank, self))
+        if world.faults is not None:
+            world.faults.on_stream_open(mpi.ctx.global_rank, self)
         yield kernel.timeout(0.0)
 
     @property
@@ -148,6 +229,9 @@ class VMPIStream:
 
         Blocks only when all ``NA`` shared output buffers are in flight
         (i.e. unmatched by any reader) — the paper's adaptation window.
+        With ``write_timeout`` set, the wait for a buffer is bounded: after
+        ``max_retries`` exponentially backed-off retries the configured
+        ``overflow`` policy applies; a dropped block returns 0.
         """
         self._require("w", "write")
         nbytes = self.block_size if nbytes is None else int(nbytes)
@@ -156,13 +240,31 @@ class VMPIStream:
         mpi = self._mpi
         kernel = mpi.ctx.kernel
         tel = self._tel
+        # Fault-injection hook: corrupt or swallow blocks at the transport
+        # boundary.  None (the default) costs a single attribute check.
+        if self._tamper is not None:
+            action, payload = self._tamper(self, nbytes, payload)
+            if action == "drop":
+                self.injected_drops += 1
+                return 0
+            if action == "corrupt":
+                self.injected_corruptions += 1
         span = (
             tel.span("stream.write", pid=self._pid, cat="stream", args={"nbytes": nbytes})
             if tel.enabled
             else None
         )
         t_acquire = kernel.now
-        yield self._slots.acquire()
+        slot_ev = self._slots.acquire()
+        if not slot_ev.triggered:
+            if self.write_timeout is None:
+                yield slot_ev
+            else:
+                dropped = yield from self._acquire_with_retry(slot_ev, nbytes)
+                if dropped:
+                    if span is not None:
+                        span.end(dropped=True)
+                    return 0
         # Time spent waiting for a free output buffer: the rendezvous-driven
         # backpressure stall of a slow reader.
         stall = kernel.now - t_acquire
@@ -173,11 +275,27 @@ class VMPIStream:
         copy_time = nbytes / mpi.ctx.world.machine.intra_node_bandwidth
         if copy_time > 0:
             yield kernel.timeout(copy_time)
+        if not self.endpoints:
+            # Every reader crashed with no failover target: the block has
+            # nowhere to go.  Account it as crash loss and keep running.
+            self._slots.release()
+            self.blocks_lost_to_crash += 1
+            self.bytes_lost_to_crash += nbytes
+            if tel.enabled:
+                tel.counter("stream.blocks_lost_to_crash").inc()
+                span.end(lost=True)
+            return 0
         dest = self._pick_endpoint()
+        # Register the in-flight record *before* the send: fail_endpoint()
+        # must see a buffer committed to a crashed peer even while this
+        # process is suspended inside the send's CPU charge.
+        rec = _InFlight(dest, nbytes)
+        self._inflight.append(rec)
         req = yield from mpi.comm_universe._raw_isend(
             dest, nbytes=nbytes, tag=self.tag, payload=payload
         )
-        req.event.add_callback(lambda _ev: self._slots.release())
+        rec.env = req.envelope
+        req.event.add_callback(lambda _ev, rec=rec: self._send_done(rec))
         self.blocks_written += 1
         self.bytes_written += nbytes
         if tel.enabled:
@@ -190,6 +308,77 @@ class VMPIStream:
             span.end(stall_s=stall)
         return nbytes
 
+    def _acquire_with_retry(self, slot_ev: SimEvent, nbytes: int):
+        """Generator: bounded, backed-off wait for ``slot_ev``.
+
+        Returns True when the block must be dropped (drop-newest exhausted),
+        False once a slot is held — via grant, reclaim, or blocking fallback.
+        """
+        kernel = self._mpi.ctx.kernel
+        tel = self._tel
+        attempt = 0
+        while True:
+            wait = self.write_timeout * (self.backoff_factor ** attempt)
+            yield kernel.any_of([slot_ev, kernel.timeout(wait)])
+            if slot_ev.triggered:
+                return False
+            self.write_timeouts += 1
+            if tel.enabled:
+                tel.counter("stream.write_timeouts").inc()
+            if attempt >= self.max_retries:
+                break
+            attempt += 1
+            self.write_retries += 1
+            if tel.enabled:
+                tel.counter("stream.write_retries").inc()
+        # Retries exhausted; cancel() returning False means the queued
+        # acquire was granted concurrently — then we already hold a slot.
+        if self.overflow == OVERFLOW_BLOCK:
+            yield slot_ev
+            return False
+        if self.overflow == OVERFLOW_DROP_NEWEST:
+            if self._slots.cancel(slot_ev):
+                self._count_drop(nbytes)
+                return True
+            return False
+        # OVERFLOW_DROP_OLDEST: reclaim the slot of the oldest block no
+        # reader has matched yet; its payload is tombstoned so the reader
+        # discards it on arrival.
+        if self._slots.cancel(slot_ev):
+            if not self._steal_oldest():
+                # Everything in flight is already matched (arriving soon);
+                # nothing to reclaim — fall back to blocking.
+                retry_ev = self._slots.acquire()
+                if not retry_ev.triggered:
+                    yield retry_ev
+        return False
+
+    def _steal_oldest(self) -> bool:
+        """Tombstone the oldest unmatched in-flight block; inherit its slot."""
+        for rec in self._inflight:
+            if rec.live and rec.env is not None and not rec.env.matched:
+                rec.live = False
+                rec.env.payload = _DROPPED
+                self._count_drop(rec.nbytes)
+                return True
+        return False
+
+    def _count_drop(self, nbytes: int) -> None:
+        self.blocks_dropped += 1
+        self.bytes_dropped += nbytes
+        if self._tel.enabled:
+            self._tel.counter("stream.blocks_dropped").inc()
+            self._tel.counter("stream.bytes_dropped").inc(nbytes)
+
+    def _send_done(self, rec: _InFlight) -> None:
+        if rec.live:
+            rec.live = False
+            self._slots.release()
+        try:
+            self._inflight.remove(rec)
+        except ValueError:
+            pass  # already reclaimed by fail_endpoint()
+
     def _pick_endpoint(self) -> int:
         if len(self.endpoints) == 1 or self.balance == BALANCE_NONE:
             return self.endpoints[0]
@@ -198,6 +387,77 @@ class VMPIStream:
         dest = self.endpoints[self._rr_next % len(self.endpoints)]
         self._rr_next += 1
         return dest
+
+    # -- failover (driven by fault handling, not by applications) ------------------------
+
+    def fail_endpoint(self, peer: int) -> bool:
+        """Detach a crashed reader; reclaim buffers committed to it.
+
+        Blocks already in flight toward the dead peer are written off as
+        crash loss and their slots released, so a writer blocked on
+        backpressure from the dead reader resumes immediately.  Returns
+        True if the peer was connected.
+        """
+        if self.mode != "w":
+            raise VMPIError("fail_endpoint() on a non-writer stream")
+        if peer not in self.endpoints:
+            return False
+        self.endpoints.remove(peer)
+        self.endpoints_failed += 1
+        for rec in list(self._inflight):
+            if rec.dest == peer and rec.live:
+                rec.live = False
+                self._slots.release()
+                self.blocks_lost_to_crash += 1
+                self.bytes_lost_to_crash += rec.nbytes
+                self._inflight.remove(rec)
+        if self._tel.enabled:
+            self._tel.counter("stream.endpoints_failed").inc()
+        return True
+
+    def adopt_endpoint(self, peer: int) -> None:
+        """Attach a surviving reader as a new write destination."""
+        if self.mode != "w":
+            raise VMPIError("adopt_endpoint() on a non-writer stream")
+        if peer in self.endpoints:
+            return
+        self.endpoints.append(peer)
+        self.peers_adopted += 1
+
+    def adopt_peer(self, writer_global: int) -> None:
+        """Reader side of failover: accept an orphaned writer.
+
+        Posts the writer's NA receive buffers and expects one more close
+        marker, exactly as if the writer had been connected at open time.
+        """
+        if self.mode != "r":
+            raise VMPIError("adopt_peer() on a non-reader stream")
+        if writer_global in self.endpoints:
+            return
+        self.endpoints.append(writer_global)
+        self.peers_adopted += 1
+        self._closes_pending += 1
+        for _ in range(self.na):
+            self._post_recv(writer_global)
+
+    def set_tamper(
+        self, fn: Callable[["VMPIStream", int, Any], tuple[str | None, Any]] | None
+    ) -> None:
+        """Install a transport-fault hook on the write path.
+
+        ``fn(stream, nbytes, payload)`` returns ``(action, payload)`` with
+        action ``"drop"`` (swallow the block), ``"corrupt"`` (send the
+        returned payload instead) or ``None`` (pass through).
+        """
+        if self.mode != "w":
+            raise VMPIError("set_tamper() on a non-writer stream")
+        self._tamper = fn
+
+    def stall_until(self, t: float) -> None:
+        """Inject a one-shot stall: the next read does not start before ``t``."""
+        if self.mode != "r":
+            raise VMPIError("stall_until() on a non-reader stream")
+        self._stall_until = t
 
     # -- reader side ----------------------------------------------------------------------
 
@@ -231,6 +491,13 @@ class VMPIStream:
         mpi = self._mpi
         kernel = mpi.ctx.kernel
         tel = self._tel
+        if self._stall_until is not None:
+            # Injected slow-analyzer fault: freeze this consumer until the
+            # stall deadline, then resume normally.
+            delay = self._stall_until - kernel.now
+            self._stall_until = None
+            if delay > 0:
+                yield kernel.timeout(delay)
         span = (
             tel.span("stream.read", pid=self._pid, cat="stream") if tel.enabled else None
         )
@@ -277,6 +544,13 @@ class VMPIStream:
             return None
         # Re-post the consumed buffer for this peer to keep NA outstanding.
         self._post_recv(peer_global)
+        if status.payload is _DROPPED:
+            # Block reclaimed by the writer's drop-oldest policy after it
+            # was committed: consume the buffer, discard the tombstone.
+            self.stale_blocks_discarded += 1
+            if self._tel.enabled:
+                self._tel.counter("stream.stale_blocks_discarded").inc()
+            return None
         self.blocks_read += 1
         self.bytes_read += status.nbytes
         return (status.nbytes, status.payload)
@@ -286,13 +560,19 @@ class VMPIStream:
     def close(self):
         """Generator: close the stream.
 
-        Writers notify every endpoint (readers then see EOF); readers simply
-        mark the endpoint closed.
+        Writers drain their output buffers and notify every endpoint
+        (readers then see EOF); readers account any blocks that arrived but
+        were never read.  Closing an already-closed stream is a no-op, so
+        failure-path cleanup can run unconditionally.
         """
-        if self.mode is None or self._closed:
-            raise StreamClosedError("close() on unopened or already-closed stream")
-        self._closed = True
+        if self.mode is None:
+            raise StreamClosedError("close() on unopened stream")
         mpi = self._mpi
+        kernel = mpi.ctx.kernel
+        if self._closed:
+            yield kernel.timeout(0.0)
+            return
+        self._closed = True
         if self.mode == "w":
             # Drain: wait until every output buffer is free again, so close
             # cannot overtake pending data (FIFO per (src, tag) guarantees
@@ -306,7 +586,18 @@ class VMPIStream:
                     peer, nbytes=1, tag=self.tag, payload=_CLOSE
                 )
         else:
-            yield mpi.ctx.kernel.timeout(0.0)
+            # Anything still queued was received but never consumed by the
+            # application — count it so shutdown data loss is visible.
+            while self._ready:
+                status = self._ready.popleft()
+                if status.payload is _CLOSE:
+                    self._closes_pending -= 1
+                elif status.payload is _DROPPED:
+                    self.stale_blocks_discarded += 1
+                else:
+                    self.blocks_discarded_at_close += 1
+                    self.bytes_discarded_at_close += status.nbytes
+            yield kernel.timeout(0.0)
 
     # -- introspection ------------------------------------------------------------------------
 
@@ -321,10 +612,14 @@ class VMPIStream:
         ``eagain_returns`` the number of empty non-blocking reads.  The
         ``*_hwm`` keys are buffer-occupancy high-water marks, so saturation
         (hwm pinned at ``NA``) is visible without telemetry enabled.
+
+        The failure-tolerance keys (retries, timeouts, drop and crash-loss
+        accounting, failover counters) are all zero in healthy runs.
         """
         return {
             "mode": self.mode,
             "endpoints": len(self.endpoints),
+            "overflow": self.overflow,
             "blocks_written": self.blocks_written,
             "bytes_written": self.bytes_written,
             "blocks_read": self.blocks_read,
@@ -336,6 +631,19 @@ class VMPIStream:
             "read_buffers_ready": len(self._ready) if self._ready else 0,
             "write_buffers_hwm": self.write_buffers_hwm,
             "read_buffers_hwm": self.read_buffers_hwm,
+            "write_retries": self.write_retries,
+            "write_timeouts": self.write_timeouts,
+            "blocks_dropped": self.blocks_dropped,
+            "bytes_dropped": self.bytes_dropped,
+            "injected_drops": self.injected_drops,
+            "injected_corruptions": self.injected_corruptions,
+            "blocks_lost_to_crash": self.blocks_lost_to_crash,
+            "bytes_lost_to_crash": self.bytes_lost_to_crash,
+            "endpoints_failed": self.endpoints_failed,
+            "peers_adopted": self.peers_adopted,
+            "blocks_discarded_at_close": self.blocks_discarded_at_close,
+            "bytes_discarded_at_close": self.bytes_discarded_at_close,
+            "stale_blocks_discarded": self.stale_blocks_discarded,
             "closed": self._closed,
         }
 

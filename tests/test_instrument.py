@@ -13,6 +13,7 @@ from repro.instrument import (
     EventPackBuilder,
     InstrumentationCost,
     PACK_HEADER_SIZE,
+    PACK_TRAILER_SIZE,
     call_id,
     decode_events,
     decode_pack,
@@ -88,7 +89,7 @@ class TestPackBuilder:
         header, events = decode_pack(blob)
         assert header.app_id == 2 and header.rank == 17 and header.count == 5
         assert len(events) == 5
-        assert len(blob) == PACK_HEADER_SIZE + 5 * EVENT_RECORD_SIZE
+        assert len(blob) == PACK_HEADER_SIZE + 5 * EVENT_RECORD_SIZE + PACK_TRAILER_SIZE
 
     def test_full_flag_at_capacity(self):
         capacity = PACK_HEADER_SIZE + 3 * EVENT_RECORD_SIZE

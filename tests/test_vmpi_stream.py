@@ -10,6 +10,8 @@ from repro.vmpi import (
     BALANCE_ROUND_ROBIN,
     EAGAIN,
     EOF,
+    OVERFLOW_DROP_NEWEST,
+    OVERFLOW_DROP_OLDEST,
     ROUND_ROBIN,
     VMPIMap,
     VMPIStream,
@@ -283,7 +285,9 @@ def test_balance_none_uses_first_endpoint(machine):
     assert sorted(per_reader.values()) == [0, 8]
 
 
-def test_double_close_rejected(machine):
+def test_double_close_is_noop(machine):
+    """Closing twice is safe (failure-path cleanup), but I/O after close is not."""
+
     def writer(mpi, out):
         yield from mpi.init()
         vmap = VMPIMap()
@@ -292,11 +296,66 @@ def test_double_close_rejected(machine):
         yield from st.open_map(mpi, vmap, "w")
         yield from st.write(nbytes=10)
         yield from st.close()
+        yield from st.close()  # idempotent: no error, no second close marker
         with pytest.raises(StreamClosedError):
-            yield from st.close()
+            yield from st.write(nbytes=10)
         yield from mpi.finalize()
 
-    _coupled(machine, 1, 1, writer, _reader, out={})
+    out = {}
+    _coupled(machine, 1, 1, writer, _reader, out=out)
+    assert out["read"] == [None]  # exactly one block, exactly one EOF
+
+
+def test_read_after_close_raises(machine):
+    def reader(mpi, out, **_kw):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, 0, ROUND_ROBIN)
+        st = VMPIStream()
+        yield from st.open_map(mpi, vmap, "r")
+        while True:
+            n, _ = yield from st.read()
+            if n == EOF:
+                break
+        yield from st.close()
+        with pytest.raises(StreamClosedError):
+            yield from st.read()
+        yield from mpi.finalize()
+
+    _coupled(machine, 1, 1, _writer, reader, out={}, blocks=2)
+
+
+def test_reader_close_accounts_stranded_blocks(machine):
+    """Blocks that arrived but were never read are counted at close."""
+    out = {}
+
+    def writer(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, "Analyzer", ROUND_ROBIN)
+        st = VMPIStream(na_buffers=3)
+        yield from st.open_map(mpi, vmap, "w")
+        yield from st.write(nbytes=1000)
+        yield from st.write(nbytes=500)
+        yield from st.close()
+        yield from mpi.finalize()
+
+    def reader(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, 0, ROUND_ROBIN)
+        st = VMPIStream(na_buffers=3)
+        yield from st.open_map(mpi, vmap, "r")
+        yield from mpi.compute(5.0)  # both blocks land in the NA buffers
+        yield from st.close()  # abandon them unread
+        out["stats"] = st.stats()
+        yield from mpi.finalize()
+
+    _coupled(machine, 1, 1, writer, reader, out=out)
+    s = out["stats"]
+    assert s["closed"] is True
+    assert s["blocks_discarded_at_close"] == 2
+    assert s["bytes_discarded_at_close"] == 1500
 
 
 def test_stream_byte_accounting(machine):
@@ -347,3 +406,96 @@ def test_saturation_stats_always_on(machine):
     assert r["read_buffers_hwm"] >= 1
     for key in ("read_wait_s", "write_buffers_hwm", "read_buffers_hwm"):
         assert key in w and key in r
+    # Failure-tolerance counters exist and are all zero on the healthy path.
+    for key in ("write_retries", "write_timeouts", "blocks_dropped",
+                "bytes_dropped", "blocks_lost_to_crash", "endpoints_failed",
+                "stale_blocks_discarded", "blocks_discarded_at_close"):
+        assert w[key] == 0 and r[key] == 0
+
+
+def _stalled_then_draining_reader(stall_s, out_key):
+    """Reader main: an injected slow-analyzer stall, then drain to EOF."""
+
+    def reader(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, 0, ROUND_ROBIN)
+        st = VMPIStream(na_buffers=2)
+        yield from st.open_map(mpi, vmap, "r")
+        n, _ = yield from st.read(nonblock=True)
+        out.setdefault("first_read", []).append(n)
+        st.stall_until(mpi.now + stall_s)  # what the stall fault injects
+        while True:
+            n, _ = yield from st.read()
+            if n == EOF:
+                break
+        yield from st.close()
+        out[out_key] = st.stats()
+        yield from mpi.finalize()
+
+    return reader
+
+
+def test_write_timeout_retry_then_drop_newest(machine):
+    """With the reader stalled, timed-out writes retry, back off, then drop."""
+    out = {}
+
+    def writer(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, "Analyzer", ROUND_ROBIN)
+        st = VMPIStream(
+            na_buffers=2,
+            write_timeout=0.05,
+            max_retries=2,
+            overflow=OVERFLOW_DROP_NEWEST,
+        )
+        yield from st.open_map(mpi, vmap, "w")
+        for i in range(10):
+            yield from st.write(payload=i)
+        yield from st.close()
+        out["w"] = st.stats()
+        yield from mpi.finalize()
+
+    _coupled(machine, 1, 1, writer, _stalled_then_draining_reader(5.0, "r"), out=out)
+    w, r = out["w"], out["r"]
+    assert w["write_timeouts"] >= 1
+    assert w["write_retries"] >= 1
+    assert w["blocks_dropped"] >= 1
+    assert w["bytes_dropped"] > 0
+    # Every block is accounted exactly once: delivered or dropped.
+    assert r["blocks_read"] + w["blocks_dropped"] == 10
+    # The stalled reader's empty non-blocking probe took the EAGAIN path.
+    assert out["first_read"] == [EAGAIN]
+    assert r["eagain_returns"] == 1
+
+
+def test_write_timeout_drop_oldest_reclaims_inflight(machine):
+    """drop-oldest sacrifices the stalest committed block for the new one."""
+    out = {}
+
+    def writer(mpi, out):
+        yield from mpi.init()
+        vmap = VMPIMap()
+        yield from map_partitions(mpi, vmap, "Analyzer", ROUND_ROBIN)
+        st = VMPIStream(
+            na_buffers=2,
+            write_timeout=0.05,
+            max_retries=1,
+            overflow=OVERFLOW_DROP_OLDEST,
+        )
+        yield from st.open_map(mpi, vmap, "w")
+        for i in range(10):
+            yield from st.write(payload=i)
+        yield from st.close()
+        out["w"] = st.stats()
+        yield from mpi.finalize()
+
+    _coupled(machine, 1, 1, writer, _stalled_then_draining_reader(5.0, "r"), out=out)
+    w, r = out["w"], out["r"]
+    assert w["blocks_dropped"] >= 1
+    # Reclaimed blocks travel as tombstones the reader silently discards.
+    assert r["stale_blocks_discarded"] == w["blocks_dropped"]
+    assert r["blocks_read"] + w["blocks_dropped"] == 10
+    # Later payloads survive at the expense of the oldest ones.
+    assert w["write_timeouts"] >= 1
