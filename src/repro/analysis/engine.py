@@ -30,7 +30,12 @@ from repro.analysis.report import ApplicationReport, ProfileReport
 from repro.analysis.topology import CommMatrix
 from repro.analysis.waitstate import WaitState
 from repro.blackboard.multilevel import MultiLevelBlackboard
-from repro.instrument.packer import decode_pack, pack_content_size, verify_pack
+from repro.instrument.packer import (
+    decode_pack,
+    pack_content_size,
+    peek_provenance,
+    verify_pack,
+)
 from repro.mpi.datatypes import ANY_SOURCE
 from repro.telemetry import NULL_TELEMETRY, Telemetry, rank_pid
 from repro.vmpi.mapping import MapPolicy, ROUND_ROBIN, VMPIMap, map_partitions
@@ -192,7 +197,10 @@ class AnalyzerEngine:
             if self.telemetry.enabled:
                 self.telemetry.counter("analysis.packs_rejected").inc()
             return False
-        self.ml.submit_pack(pack_bytes)
+        # Size the entry by pack content only: the CRC and any provenance
+        # trailer ride outside the blackboard's byte accounting, so storage
+        # stats are identical with and without provenance enabled.
+        self.ml.submit_pack(pack_bytes, size=pack_content_size(pack_bytes))
         self.ml.board.run_until_idle()
         self.packs_ingested += 1
         self.bytes_ingested += pack_content_size(pack_bytes)
@@ -329,6 +337,7 @@ def analyzer_program(
         # alert stream as data entries (dogfooding the architecture).
         engine.enable_health_ingest(monitor)
 
+    flows = world.flows
     while True:
         nbytes, payload = yield from stream.read()
         if nbytes == EOF:
@@ -338,9 +347,19 @@ def analyzer_program(
             if tel.enabled
             else None
         )
+        # Provenance: the dispatch hop starts here — the pack is out of the
+        # receive buffers and about to be charged its analysis CPU.
+        prov = peek_provenance(payload) if flows is not None else None
+        if prov is not None:
+            flows.on_dispatch(prov.flow_id, mpi.ctx.kernel.now)
         # Charge the analysis CPU cost for this block to simulated time.
         yield from mpi.compute(config.cpu_cost(nbytes))
-        engine.ingest(payload)
+        ok = engine.ingest(payload)
+        if prov is not None:
+            if ok:
+                flows.on_done(prov.flow_id, mpi.ctx.kernel.now)
+            else:
+                flows.on_drop(prov.flow_id, "reject", mpi.ctx.kernel.now)
         if span is not None:
             span.end()
 

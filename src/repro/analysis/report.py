@@ -173,6 +173,9 @@ class ProfileReport:
     #: Online health-monitor summary (``HealthMonitor.summary()``) when a
     #: monitor was attached to the run; None otherwise.
     health: Optional[dict] = None
+    #: Flow-provenance summary (``FlowRegistry.summary()``) when causal
+    #: pack tracing was enabled for the run; None otherwise.
+    flows: Optional[dict] = None
 
     def chapter(self, app: str) -> ApplicationReport:
         for ch in self.chapters:
@@ -192,6 +195,8 @@ class ProfileReport:
             parts.append(self._render_telemetry())
         if self.health:
             parts.append(self._render_health())
+        if self.flows:
+            parts.append(self._render_flows())
         return "\n".join(parts)
 
     def _render_telemetry(self) -> str:
@@ -282,6 +287,74 @@ class ProfileReport:
             out.append("```")
             out.append(table.render())
             out.append("```")
+        out.append("")
+        return "\n".join(out)
+
+    def _render_flows(self) -> str:
+        """Per-stage latency waterfall of the measurement pipeline itself."""
+        from repro.util.tables import Table
+
+        f = self.flows
+        out = ["## Pipeline latency (flow provenance)", ""]
+        out.append(
+            f"- flows traced: {f.get('flows_traced', 0)} "
+            f"(sample rate {f.get('sample_rate', 1.0):.3g}), "
+            f"completed: {f.get('flows_completed', 0)}, "
+            f"dropped: {f.get('flows_dropped', 0)}"
+        )
+        losses = f.get("losses") or {}
+        if losses:
+            out.append(
+                "- losses by cause: "
+                + ", ".join(f"{k} x{n}" for k, n in sorted(losses.items()))
+            )
+        retry = f.get("retry_delay_s", 0.0)
+        if retry:
+            out.append(f"- backpressure retry delay attributed: {fmt_time(retry)}")
+        stages = f.get("stages") or {}
+        end_to_end = f.get("end_to_end")
+        if stages:
+            table = Table(
+                ["stage", "count", "p50", "p95", "mean", "total"],
+                title="Per-stage latency",
+            )
+            for stage, s in stages.items():
+                table.add_row(
+                    stage, s["count"], fmt_time(s["p50_s"]), fmt_time(s["p95_s"]),
+                    fmt_time(s["mean_s"]), fmt_time(s["total_s"]),
+                )
+            if end_to_end:
+                table.add_row(
+                    "end_to_end", end_to_end["count"], fmt_time(end_to_end["p50_s"]),
+                    fmt_time(end_to_end["p95_s"]), fmt_time(end_to_end["mean_s"]),
+                    fmt_time(end_to_end["total_s"]),
+                )
+            out.append("")
+            out.append("```")
+            out.append(table.render())
+            out.append("```")
+        critical = f.get("critical_path")
+        if critical:
+            shares = critical.get("share") or {}
+            top = sorted(shares.items(), key=lambda kv: -kv[1])[:3]
+            out.append(
+                f"- critical path: flow {critical['flow_id']:#x} "
+                f"end-to-end {fmt_time(critical['total_s'])}, dominated by "
+                + ", ".join(f"{name} ({share:.0%})" for name, share in top)
+            )
+        watermarks = f.get("watermarks") or {}
+        if watermarks:
+            laggiest = sorted(
+                watermarks.items(), key=lambda kv: -kv[1]["max_lag_s"]
+            )[:4]
+            out.append(
+                "- laggiest writers: "
+                + ", ".join(
+                    f"{name} (max lag {fmt_time(w['max_lag_s'])}, "
+                    f"{int(w['in_flight'])} in flight)"
+                    for name, w in laggiest
+                )
+            )
         out.append("")
         return "\n".join(out)
 

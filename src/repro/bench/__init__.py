@@ -19,6 +19,7 @@ from repro.bench.compare import (
     metric_direction,
 )
 from repro.bench.chaos import ChaosPoint, ChaosResult, chaos_resilience, load_plan
+from repro.bench.flow import FlowPoint, FlowResult, flow_attribution
 from repro.bench.harness import OverheadPoint, measure_overhead, sweep
 from repro.bench.figures import (
     fig14_stream_throughput,
@@ -47,6 +48,9 @@ __all__ = [
     "ChaosResult",
     "chaos_resilience",
     "load_plan",
+    "FlowPoint",
+    "FlowResult",
+    "flow_attribution",
     "fig14_stream_throughput",
     "fig15_overhead",
     "fig16_tool_comparison",

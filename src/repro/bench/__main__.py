@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench trace-sizes
     python -m repro.bench fs-comparison
     python -m repro.bench chaos [--chaos PLAN]
+    python -m repro.bench flow
     python -m repro.bench all
     python -m repro.bench compare BASELINE.json CANDIDATE.json [--tolerance T]
 
@@ -37,6 +38,7 @@ from repro.bench import (
     bi_bandwidth_table,
     chaos_resilience,
     fig14_stream_throughput,
+    flow_attribution,
     fig15_overhead,
     fig16_tool_comparison,
     fig17_topology,
@@ -58,6 +60,7 @@ _DRIVERS = {
     "trace-sizes": trace_size_table,
     "fs-comparison": fs_comparison_table,
     "chaos": chaos_resilience,
+    "flow": flow_attribution,
 }
 
 

@@ -110,6 +110,8 @@ class Blackboard:
         # The submitter's own reference is dropped once fan-out is done.
         self._release_entry(entry)
         for job in jobs:
+            if self.telemetry.enabled:
+                job.t_submitted = self.telemetry.now()
             with self._idle:
                 self._in_flight += 1
             self.queues.push(job)
@@ -143,9 +145,15 @@ class Blackboard:
                 self.jobs_executed += 1
             if span is not None:
                 tel.counter("blackboard.jobs_executed").inc()
-                tel.histogram("blackboard.job_cpu_s").observe(
-                    time.perf_counter() - t_host
-                )
+                cpu_s = time.perf_counter() - t_host
+                tel.histogram("blackboard.job_cpu_s").observe(cpu_s)
+                # Per-KS cost breakdown: which operation the analysis time
+                # actually goes to (the report's latency attribution input).
+                tel.histogram(f"blackboard.ks_cpu_s.{job.ks.name}").observe(cpu_s)
+                if job.t_submitted is not None:
+                    tel.histogram("blackboard.job_dwell_s").observe(
+                        max(0.0, tel.now() - job.t_submitted - cpu_s)
+                    )
                 span.end()
             with self._idle:
                 self._in_flight -= 1

@@ -27,6 +27,9 @@ class Job:
 
     ks: "KnowledgeSource"
     entries: list[DataEntry] = field(default_factory=list)
+    #: Telemetry-clock stamp taken at submit time (None when telemetry is
+    #: off); execution sites derive the FIFO dwell from it.
+    t_submitted: float | None = None
 
 
 class JobQueues:

@@ -36,6 +36,9 @@ class ThreadPool:
         # Host-clock busy/idle accounting, always on (see utilization()).
         self.busy_s = [0.0] * nworkers
         self.idle_s = [0.0] * nworkers
+        # Per-worker queue-dwell: how long the jobs a worker picked up had
+        # been sitting in the FIFOs (needs telemetry on for submit stamps).
+        self.dwell_s = [0.0] * nworkers
         self._started = False
 
     def start(self) -> None:
@@ -56,6 +59,10 @@ class ThreadPool:
             t0 = time.perf_counter()
             job = self.board.queues.try_pop(start=rng.randrange(self.board.queues.nqueues))
             if job is not None:
+                if job.t_submitted is not None:
+                    self.dwell_s[index] += max(
+                        0.0, self.board.telemetry.now() - job.t_submitted
+                    )
                 self.board.execute(job)
                 self.busy_s[index] += time.perf_counter() - t0
                 self.jobs_per_worker[index] += 1

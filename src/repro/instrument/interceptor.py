@@ -19,7 +19,11 @@ from typing import TYPE_CHECKING
 
 from repro.errors import InstrumentationError
 from repro.instrument.overhead import InstrumentationCost
-from repro.instrument.packer import EventPackBuilder, pack_content_size
+from repro.instrument.packer import (
+    EventPackBuilder,
+    attach_provenance,
+    pack_content_size,
+)
 from repro.mpi.pmpi import CallRecord, Interceptor
 from repro.vmpi.mapping import MapPolicy, ROUND_ROBIN, VMPIMap, map_partitions
 from repro.vmpi.stream import BALANCE_ROUND_ROBIN, VMPIStream
@@ -141,6 +145,24 @@ class StreamingInstrumentation(Interceptor):
         if self.builder.count == 0:
             return
         blob = self.builder.emit()
+        # Provenance: register the flow at seal time and stamp the pack
+        # with its trailer so the analyzer side can recover the flow id
+        # from the wire bytes.  Like the CRC, the trailer is exempt from
+        # all byte accounting; with no registry attached (the default)
+        # this is one branch and the pack bytes are unchanged.
+        flows = self.mpi.ctx.world.flows
+        if flows is not None:
+            record = flows.begin(
+                app_id=self.builder.app_id,
+                rank=self.builder.rank,
+                global_rank=self.mpi.ctx.global_rank,
+                t=self.mpi.ctx.kernel.now,
+            )
+            if record is not None:
+                blob = attach_provenance(
+                    blob, record.flow_id, record.app_id, record.origin_rank,
+                    record.t_seal,
+                )
         # The integrity trailer rides outside the modelled volume budget:
         # charge only the header+records content, as before checksums.
         modeled = self.cost.modeled_bytes(pack_content_size(blob))

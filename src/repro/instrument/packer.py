@@ -3,7 +3,7 @@
 Wire layout::
 
     u32 magic | u16 version | u16 app_id | u32 rank | u32 count |
-    <count records> | u32 crc32
+    <count records> | u32 crc32 [| provenance trailer]
 
 ``app_id`` is the partition index of the producing application (the
 multi-level blackboard dispatch key), ``rank`` its virtual (per-application)
@@ -12,6 +12,20 @@ flight is rejected by :func:`verify_pack` / :func:`decode_pack` instead of
 poisoning the analyzer.  The trailer is accounting-exempt: pack capacity,
 ``size_bytes`` and the modelled stream volume all budget header + records
 only, keeping simulated figures independent of the integrity envelope.
+
+When causal flow tracing is on (see :mod:`repro.telemetry.provenance`), a
+second fixed-size trailer rides *after* the CRC::
+
+    u64 flow_id | u16 origin_app | u32 origin_rank | f64 t_seal | u32 prov_magic
+
+It identifies the pack's flow across process boundaries — the analyzer
+recovers the flow id from the wire bytes, not from shared Python state.
+Like the CRC it is accounting-exempt (:func:`pack_content_size` strips
+both), and it is *outside* the checksum so hop stamping can never be
+confused with payload corruption.  Packs without the trailer (provenance
+off, or an unsampled flow) are byte-identical to the pre-provenance
+format; presence is detected by the trailing magic, which a CRC word
+collides with at odds of 2^-32 — negligible for simulation artefacts.
 """
 
 from __future__ import annotations
@@ -35,6 +49,10 @@ assert PACK_HEADER_SIZE == 16
 _TRAILER_FMT = "<I"
 PACK_TRAILER_SIZE = struct.calcsize(_TRAILER_FMT)
 assert PACK_TRAILER_SIZE == 4
+_PROV_MAGIC = 0x50524F56  # "PROV"
+_PROV_FMT = "<QHIdI"
+PACK_PROV_SIZE = struct.calcsize(_PROV_FMT)
+assert PACK_PROV_SIZE == 26
 
 
 @dataclass(frozen=True)
@@ -99,13 +117,62 @@ class EventPackBuilder:
         return blob
 
 
-def pack_content_size(blob: bytes | memoryview) -> int:
-    """Size of a pack's header + records, excluding the CRC trailer.
+@dataclass(frozen=True)
+class PackProvenance:
+    """The compact flow stamp carried by a provenance-traced pack."""
 
-    This is the quantity all modelling and byte accounting use, so the
-    integrity envelope never shifts simulated volumes.
+    flow_id: int
+    app_id: int
+    rank: int
+    t_seal: float
+
+
+def attach_provenance(
+    blob: bytes, flow_id: int, app_id: int, rank: int, t_seal: float
+) -> bytes:
+    """Append a provenance trailer to a sealed pack (after the CRC)."""
+    return blob + struct.pack(_PROV_FMT, flow_id, app_id, rank, t_seal, _PROV_MAGIC)
+
+
+def peek_provenance(blob) -> PackProvenance | None:
+    """Read a pack's provenance trailer without touching the payload.
+
+    Returns ``None`` for anything that is not a provenance-stamped pack —
+    non-bytes payloads, short blobs, or packs without the trailer — so hot
+    paths can call it unconditionally on whatever travels a stream.
     """
-    return len(blob) - PACK_TRAILER_SIZE
+    try:
+        view = memoryview(blob)
+    except TypeError:
+        return None
+    if len(view) < PACK_HEADER_SIZE + PACK_TRAILER_SIZE + PACK_PROV_SIZE:
+        return None
+    flow_id, app_id, rank, t_seal, magic = struct.unpack_from(
+        _PROV_FMT, view, len(view) - PACK_PROV_SIZE
+    )
+    if magic != _PROV_MAGIC:
+        return None
+    return PackProvenance(flow_id=flow_id, app_id=app_id, rank=rank, t_seal=t_seal)
+
+
+def strip_provenance(blob):
+    """The pack without its provenance trailer (no-op when absent)."""
+    if peek_provenance(blob) is None:
+        return blob
+    return blob[: len(blob) - PACK_PROV_SIZE]
+
+
+def pack_content_size(blob: bytes | memoryview) -> int:
+    """Size of a pack's header + records, excluding every trailer.
+
+    This is the quantity all modelling and byte accounting use, so neither
+    the integrity envelope nor the provenance stamp ever shifts simulated
+    volumes.
+    """
+    size = len(blob) - PACK_TRAILER_SIZE
+    if peek_provenance(blob) is not None:
+        size -= PACK_PROV_SIZE
+    return size
 
 
 def verify_pack(blob: bytes | memoryview) -> PackHeader:
@@ -113,11 +180,15 @@ def verify_pack(blob: bytes | memoryview) -> PackHeader:
 
     Returns the parsed header; raises :class:`PackFormatError` if the pack
     is truncated or its checksum does not match (corruption in flight).
+    A provenance trailer, when present, rides outside the checksum and is
+    skipped transparently.
     """
     try:
         view = memoryview(blob)
     except TypeError:
         raise PackFormatError(f"pack payload is not bytes: {type(blob).__name__}")
+    if peek_provenance(view) is not None:
+        view = view[: len(view) - PACK_PROV_SIZE]
     if len(view) < PACK_HEADER_SIZE + PACK_TRAILER_SIZE:
         raise PackFormatError(f"pack of {len(view)} bytes shorter than header+trailer")
     magic, version, app_id, rank, count = struct.unpack_from(_HEADER_FMT, view, 0)
@@ -140,6 +211,8 @@ def decode_pack(blob: bytes | memoryview) -> tuple[PackHeader, np.ndarray]:
     Raises :class:`PackFormatError` on bad magic/version/size/checksum.
     """
     view = memoryview(blob)
+    if peek_provenance(view) is not None:
+        view = view[: len(view) - PACK_PROV_SIZE]
     header = verify_pack(view)
     expected = PACK_HEADER_SIZE + header.count * EVENT_RECORD_SIZE + PACK_TRAILER_SIZE
     if len(view) != expected:

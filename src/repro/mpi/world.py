@@ -100,6 +100,9 @@ class World:
         self.streams: list[tuple[int, Any]] = []
         #: The attached FaultInjector, if this run is under a fault plan.
         self.faults: Any | None = None
+        #: The attached FlowRegistry when causal pack tracing is enabled;
+        #: None keeps every provenance call site to a single branch.
+        self.flows: Any | None = None
 
     # -- group registry ------------------------------------------------------------
 

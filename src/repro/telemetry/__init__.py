@@ -21,6 +21,20 @@ disabled.  Enable it by passing a live instance down the stack::
 """
 
 from repro.telemetry.core import KERNEL_PID, NULL_TELEMETRY, Telemetry, rank_pid
+from repro.telemetry.flow import (
+    critical_path,
+    stage_stats,
+    summarize_flows,
+    waterfall,
+    watermarks,
+)
+from repro.telemetry.provenance import (
+    STAGES,
+    FlowRecord,
+    FlowRegistry,
+    make_flow_id,
+    split_flow_id,
+)
 from repro.telemetry.monitor import (
     WATCHED_SERIES,
     HealthAlert,
@@ -47,6 +61,16 @@ from repro.telemetry.spans import NULL_SPAN, Span
 
 __all__ = [
     "Telemetry",
+    "FlowRegistry",
+    "FlowRecord",
+    "STAGES",
+    "make_flow_id",
+    "split_flow_id",
+    "summarize_flows",
+    "stage_stats",
+    "critical_path",
+    "watermarks",
+    "waterfall",
     "Timeline",
     "TimeSeries",
     "CUMULATIVE",

@@ -51,6 +51,13 @@ class Telemetry:
         self.instants: list[dict[str, Any]] = []
         self.track_names: dict[int, str] = {}
         self._open: dict[int, Span] = {}
+        #: Attached FlowRegistry (causal pack tracing), when a session runs
+        #: with provenance enabled; exporters draw flow arrows from it.
+        self.flows = None
+
+    def attach_flows(self, registry) -> None:
+        """Bind a flow registry so exports include provenance flow events."""
+        self.flows = registry
 
     # -- clock -------------------------------------------------------------------
 

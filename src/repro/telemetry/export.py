@@ -86,7 +86,58 @@ def chrome_trace_dict(tel: "Telemetry") -> dict[str, Any]:
                     "args": {"value": value},
                 }
             )
+    events.extend(flow_events(tel))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def flow_events(tel: "Telemetry") -> list[dict[str, Any]]:
+    """Provenance flows as Chrome flow events (``ph:"s"/"f"`` arrows).
+
+    Each traced pack that both left its producer and reached a consumer
+    draws one arrow from the producer rank's track (at send time) to the
+    analyzer rank's track (at read time), so causal pack movement is
+    visible between process rows in Perfetto.  Requires a flow registry
+    attached via :meth:`Telemetry.attach_flows`; otherwise empty.
+    """
+    registry = getattr(tel, "flows", None)
+    if registry is None:
+        return []
+    from repro.telemetry.core import rank_pid
+
+    events: list[dict[str, Any]] = []
+    for record in registry.records():
+        t_send = record.t_send if record.t_send is not None else record.t_enqueue
+        t_read = record.t_read
+        if t_send is None or t_read is None or record.consumer_global is None:
+            continue
+        common = {"name": "pack_flow", "cat": "flow", "id": record.flow_id, "tid": 0}
+        events.append(
+            {
+                **common,
+                "ph": "s",
+                "pid": rank_pid(record.origin_global),
+                "ts": t_send * _US,
+            }
+        )
+        if record.t_arrive is not None:
+            events.append(
+                {
+                    **common,
+                    "ph": "t",
+                    "pid": rank_pid(record.consumer_global),
+                    "ts": record.t_arrive * _US,
+                }
+            )
+        events.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",
+                "pid": rank_pid(record.consumer_global),
+                "ts": t_read * _US,
+            }
+        )
+    return events
 
 
 def jsonl_records(tel: "Telemetry") -> list[dict[str, Any]]:
@@ -127,6 +178,10 @@ def jsonl_records(tel: "Telemetry") -> list[dict[str, Any]]:
         )
     for histogram in tel.histograms.values():
         records.append({"kind": "histogram", "name": histogram.name, **histogram.as_dict()})
+    registry = getattr(tel, "flows", None)
+    if registry is not None:
+        for flow in registry.records():
+            records.append({"kind": "flow", **flow.as_dict()})
     return records
 
 

@@ -85,16 +85,19 @@ class _InFlight:
 
     ``live`` means the buffer still holds a slot; fault handling (endpoint
     crash, drop-oldest reclaim) clears it so the completion callback knows
-    the slot was already taken care of.
+    the slot was already taken care of.  ``flow_id`` names the provenance
+    flow riding in the buffer (None when tracing is off or unsampled) so
+    reclaim and crash-loss paths can terminate the flow record.
     """
 
-    __slots__ = ("dest", "nbytes", "env", "live")
+    __slots__ = ("dest", "nbytes", "env", "live", "flow_id")
 
-    def __init__(self, dest: int, nbytes: int):
+    def __init__(self, dest: int, nbytes: int, flow_id: int | None = None):
         self.dest = dest
         self.nbytes = nbytes
         self.env = None  # Envelope, set once _raw_isend returns
         self.live = True
+        self.flow_id = flow_id
 
 
 class VMPIStream:
@@ -145,6 +148,11 @@ class VMPIStream:
         self.eagain_returns = 0
         self.write_stall_s = 0.0
         self.read_wait_s = 0.0
+        # Receive-buffer residence: total dwell of consumed blocks, and of
+        # blocks that arrived but were discarded (drop-oldest tombstones,
+        # close-time strays) — dropped data keeps its latency accounting.
+        self.read_dwell_s = 0.0
+        self.dropped_dwell_s = 0.0
         self.write_buffers_hwm = 0
         self.read_buffers_hwm = 0
         # Failure-tolerance accounting (all zero in healthy runs).
@@ -169,8 +177,12 @@ class VMPIStream:
         self._rng = None
         self._inflight: list[_InFlight] = []
         self._tamper: Callable[["VMPIStream", int, Any], tuple[str | None, Any]] | None = None
-        # reader state
-        self._ready: deque[Status] | None = None
+        # provenance state (None unless the world carries a FlowRegistry)
+        self._flows = None
+        self._peek: Callable[[Any], Any] | None = None
+        self._last_retry_delay = 0.0
+        # reader state: (status, arrival time) pairs
+        self._ready: deque[tuple[Status, float]] | None = None
         self._wake: SimEvent | None = None
         self._closes_pending = 0
         self._stall_until: float | None = None
@@ -198,6 +210,13 @@ class VMPIStream:
         self._mpi = mpi
         self._tel = mpi.ctx.telemetry
         self._pid = rank_pid(mpi.ctx.global_rank)
+        self._flows = mpi.ctx.world.flows
+        if self._flows is not None:
+            # Imported lazily: the packer module imports the stream's
+            # sibling interceptor package, so a top-level import would cycle.
+            from repro.instrument.packer import peek_provenance
+
+            self._peek = peek_provenance
         kernel = mpi.ctx.kernel
         if mode == "w":
             self._slots = Resource(kernel, capacity=self.na, name="vmpi.wbuf")
@@ -240,12 +259,23 @@ class VMPIStream:
         mpi = self._mpi
         kernel = mpi.ctx.kernel
         tel = self._tel
+        # Provenance: recover the flow id from the pack's own trailer and
+        # stamp the enqueue hop.  Peeking precedes tampering so injected
+        # drops are attributed to their flow.
+        flow_id = None
+        if self._flows is not None:
+            prov = self._peek(payload)
+            if prov is not None:
+                flow_id = prov.flow_id
+                self._flows.on_enqueue(flow_id, kernel.now)
         # Fault-injection hook: corrupt or swallow blocks at the transport
         # boundary.  None (the default) costs a single attribute check.
         if self._tamper is not None:
             action, payload = self._tamper(self, nbytes, payload)
             if action == "drop":
                 self.injected_drops += 1
+                if flow_id is not None:
+                    self._flows.on_drop(flow_id, "tamper", kernel.now)
                 return 0
             if action == "corrupt":
                 self.injected_corruptions += 1
@@ -255,6 +285,7 @@ class VMPIStream:
             else None
         )
         t_acquire = kernel.now
+        self._last_retry_delay = 0.0
         slot_ev = self._slots.acquire()
         if not slot_ev.triggered:
             if self.write_timeout is None:
@@ -262,6 +293,8 @@ class VMPIStream:
             else:
                 dropped = yield from self._acquire_with_retry(slot_ev, nbytes)
                 if dropped:
+                    if flow_id is not None:
+                        self._flows.on_drop(flow_id, "overflow", kernel.now)
                     if span is not None:
                         span.end(dropped=True)
                     return 0
@@ -281,15 +314,21 @@ class VMPIStream:
             self._slots.release()
             self.blocks_lost_to_crash += 1
             self.bytes_lost_to_crash += nbytes
+            if flow_id is not None:
+                self._flows.on_drop(flow_id, "crash", kernel.now)
             if tel.enabled:
                 tel.counter("stream.blocks_lost_to_crash").inc()
                 span.end(lost=True)
             return 0
+        if flow_id is not None:
+            # The send hop: buffer acquired and copied, transit begins.  The
+            # stall stage absorbed any bounded-retry backoff; attribute it.
+            self._flows.on_send(flow_id, kernel.now, self._last_retry_delay)
         dest = self._pick_endpoint()
         # Register the in-flight record *before* the send: fail_endpoint()
         # must see a buffer committed to a crashed peer even while this
         # process is suspended inside the send's CPU charge.
-        rec = _InFlight(dest, nbytes)
+        rec = _InFlight(dest, nbytes, flow_id=flow_id)
         self._inflight.append(rec)
         req = yield from mpi.comm_universe._raw_isend(
             dest, nbytes=nbytes, tag=self.tag, payload=payload
@@ -316,11 +355,14 @@ class VMPIStream:
         """
         kernel = self._mpi.ctx.kernel
         tel = self._tel
+        t_enter = kernel.now
         attempt = 0
         while True:
             wait = self.write_timeout * (self.backoff_factor ** attempt)
             yield kernel.any_of([slot_ev, kernel.timeout(wait)])
             if slot_ev.triggered:
+                if attempt > 0:
+                    self._last_retry_delay = kernel.now - t_enter
                 return False
             self.write_timeouts += 1
             if tel.enabled:
@@ -335,11 +377,13 @@ class VMPIStream:
         # acquire was granted concurrently — then we already hold a slot.
         if self.overflow == OVERFLOW_BLOCK:
             yield slot_ev
+            self._last_retry_delay = kernel.now - t_enter
             return False
         if self.overflow == OVERFLOW_DROP_NEWEST:
             if self._slots.cancel(slot_ev):
                 self._count_drop(nbytes)
                 return True
+            self._last_retry_delay = kernel.now - t_enter
             return False
         # OVERFLOW_DROP_OLDEST: reclaim the slot of the oldest block no
         # reader has matched yet; its payload is tombstoned so the reader
@@ -351,6 +395,7 @@ class VMPIStream:
                 retry_ev = self._slots.acquire()
                 if not retry_ev.triggered:
                     yield retry_ev
+        self._last_retry_delay = kernel.now - t_enter
         return False
 
     def _steal_oldest(self) -> bool:
@@ -360,6 +405,10 @@ class VMPIStream:
                 rec.live = False
                 rec.env.payload = _DROPPED
                 self._count_drop(rec.nbytes)
+                if rec.flow_id is not None:
+                    self._flows.on_drop(
+                        rec.flow_id, "overflow", self._mpi.ctx.kernel.now
+                    )
                 return True
         return False
 
@@ -410,6 +459,8 @@ class VMPIStream:
                 self._slots.release()
                 self.blocks_lost_to_crash += 1
                 self.bytes_lost_to_crash += rec.nbytes
+                if rec.flow_id is not None:
+                    self._flows.on_drop(rec.flow_id, "crash", self._mpi.ctx.kernel.now)
                 self._inflight.remove(rec)
         if self._tel.enabled:
             self._tel.counter("stream.endpoints_failed").inc()
@@ -472,7 +523,12 @@ class VMPIStream:
 
     def _on_block(self, ev: SimEvent) -> None:
         status: Status = ev.value
-        self._ready.append(status)
+        now = self._mpi.ctx.kernel.now
+        self._ready.append((status, now))
+        if self._flows is not None:
+            prov = self._peek(status.payload)
+            if prov is not None:
+                self._flows.on_arrive(prov.flow_id, now)
         if len(self._ready) > self.read_buffers_hwm:
             self.read_buffers_hwm = len(self._ready)
         if self._wake is not None and not self._wake.triggered:
@@ -503,13 +559,19 @@ class VMPIStream:
         )
         while True:
             while self._ready:
-                status = self._ready.popleft()
-                result = self._consume(status)
+                status, t_arrive = self._ready.popleft()
+                result = self._consume(status, t_arrive)
                 if result is not None:
                     # Charge the copy out of the reception buffer.
                     copy_time = result[0] / mpi.ctx.world.machine.intra_node_bandwidth
                     if copy_time > 0:
                         yield kernel.timeout(copy_time)
+                    if self._flows is not None:
+                        prov = self._peek(result[1])
+                        if prov is not None:
+                            self._flows.on_read(
+                                prov.flow_id, kernel.now, mpi.ctx.global_rank
+                            )
                     if tel.enabled:
                         tel.counter("stream.blocks_read").inc()
                         tel.counter("stream.bytes_read").inc(result[0])
@@ -536,23 +598,32 @@ class VMPIStream:
             if tel.enabled:
                 tel.histogram("stream.read_wait_s").observe(kernel.now - t_wait)
 
-    def _consume(self, status: Status) -> tuple[int, Any] | None:
-        """Handle one arrived message; None for protocol (close) markers."""
+    def _consume(self, status: Status, t_arrive: float) -> tuple[int, Any] | None:
+        """Handle one arrived message; None for protocol (close) markers.
+
+        ``t_arrive`` is the block's receive-buffer entry time: its dwell is
+        accounted whether the block is consumed (``read_dwell_s``) or turns
+        out to be a drop-oldest tombstone (``dropped_dwell_s``) — dropped
+        data never vanishes from the latency books.
+        """
         peer_global = self._mpi.comm_universe.global_rank_of(status.source)
         if status.payload is _CLOSE:
             self._closes_pending -= 1
             return None
         # Re-post the consumed buffer for this peer to keep NA outstanding.
         self._post_recv(peer_global)
+        dwell = self._mpi.ctx.kernel.now - t_arrive
         if status.payload is _DROPPED:
             # Block reclaimed by the writer's drop-oldest policy after it
             # was committed: consume the buffer, discard the tombstone.
             self.stale_blocks_discarded += 1
+            self.dropped_dwell_s += dwell
             if self._tel.enabled:
                 self._tel.counter("stream.stale_blocks_discarded").inc()
             return None
         self.blocks_read += 1
         self.bytes_read += status.nbytes
+        self.read_dwell_s += dwell
         return (status.nbytes, status.payload)
 
     # -- shutdown -----------------------------------------------------------------------------
@@ -587,16 +658,25 @@ class VMPIStream:
                 )
         else:
             # Anything still queued was received but never consumed by the
-            # application — count it so shutdown data loss is visible.
+            # application — count it (and its accumulated buffer dwell) so
+            # shutdown data loss is visible.
             while self._ready:
-                status = self._ready.popleft()
+                status, t_arrive = self._ready.popleft()
                 if status.payload is _CLOSE:
                     self._closes_pending -= 1
-                elif status.payload is _DROPPED:
+                    continue
+                dwell = kernel.now - t_arrive
+                if status.payload is _DROPPED:
                     self.stale_blocks_discarded += 1
+                    self.dropped_dwell_s += dwell
                 else:
                     self.blocks_discarded_at_close += 1
                     self.bytes_discarded_at_close += status.nbytes
+                    self.dropped_dwell_s += dwell
+                    if self._flows is not None:
+                        prov = self._peek(status.payload)
+                        if prov is not None:
+                            self._flows.on_drop(prov.flow_id, "stranded", kernel.now)
             yield kernel.timeout(0.0)
 
     # -- introspection ------------------------------------------------------------------------
@@ -609,7 +689,12 @@ class VMPIStream:
         ``read_buffers_ready`` counts received blocks waiting to be consumed;
         ``write_stall_s`` is the accumulated backpressure stall,
         ``read_wait_s`` the accumulated blocking-read wait and
-        ``eagain_returns`` the number of empty non-blocking reads.  The
+        ``eagain_returns`` the number of empty non-blocking reads.
+        ``read_dwell_s`` totals the receive-buffer residence of consumed
+        blocks; ``dropped_dwell_s`` the residence of blocks that were
+        received but discarded (drop-oldest tombstones and close-time
+        strays), so dropped data keeps consistent per-hop dwell
+        accounting.  The
         ``*_hwm`` keys are buffer-occupancy high-water marks, so saturation
         (hwm pinned at ``NA``) is visible without telemetry enabled.
 
@@ -627,6 +712,8 @@ class VMPIStream:
             "eagain_returns": self.eagain_returns,
             "write_stall_s": self.write_stall_s,
             "read_wait_s": self.read_wait_s,
+            "read_dwell_s": self.read_dwell_s,
+            "dropped_dwell_s": self.dropped_dwell_s,
             "write_buffers_in_flight": self._slots.in_use if self._slots else 0,
             "read_buffers_ready": len(self._ready) if self._ready else 0,
             "write_buffers_hwm": self.write_buffers_hwm,

@@ -499,3 +499,7 @@ def test_write_timeout_drop_oldest_reclaims_inflight(machine):
     assert r["blocks_read"] + w["blocks_dropped"] == 10
     # Later payloads survive at the expense of the oldest ones.
     assert w["write_timeouts"] >= 1
+    # Tombstoned blocks sat in the receive buffers through the stall; the
+    # reader attributes that dead dwell separately from consumed blocks'.
+    assert r["dropped_dwell_s"] > 0
+    assert r["read_dwell_s"] > 0
