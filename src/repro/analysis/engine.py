@@ -20,7 +20,9 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import ConfigError, PackFormatError
+from repro.codec.frame import CONTENT_HEADER_SIZE, parse_frame, peek_provenance
+from repro.codec.stages import build_chain, decode_chain
+from repro.errors import ConfigError, PackFormatError, ReproError, UnknownCodecError
 from repro.analysis.alerts import AlertMonitor
 from repro.analysis.density import DensityMaps
 from repro.analysis.latesender import LateSenderAnalysis
@@ -30,12 +32,7 @@ from repro.analysis.report import ApplicationReport, ProfileReport
 from repro.analysis.topology import CommMatrix
 from repro.analysis.waitstate import WaitState
 from repro.blackboard.multilevel import MultiLevelBlackboard
-from repro.instrument.packer import (
-    decode_pack,
-    pack_content_size,
-    peek_provenance,
-    verify_pack,
-)
+from repro.instrument.packer import decode_pack
 from repro.mpi.datatypes import ANY_SOURCE
 from repro.telemetry import NULL_TELEMETRY, Telemetry, rank_pid
 from repro.vmpi.mapping import MapPolicy, ROUND_ROBIN, VMPIMap, map_partitions
@@ -68,6 +65,13 @@ class AnalysisConfig:
     map_policy: MapPolicy = ROUND_ROBIN
     block_size: int = 1024 * 1024
     na_buffers: int = 3
+    #: CPU seconds per raw record byte per unit stage cost weight spent
+    #: inverting a frame's codec chain; zero is charged for identity frames.
+    codec_per_byte_cpu: float = 0.6e-9
+    #: When set, only frames whose codec descriptor is in this tuple are
+    #: analyzed; anything else is rejected as a descriptor mismatch.
+    #: ``None`` (the default) accepts every chain this build can decode.
+    accept_codecs: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.per_byte_cpu < 0 or self.per_pack_cpu < 0:
@@ -77,6 +81,16 @@ class AnalysisConfig:
             raise ConfigError(f"unknown analysis modules: {sorted(unknown)}")
         if not self.modules:
             raise ConfigError("at least one analysis module is required")
+        if self.codec_per_byte_cpu < 0:
+            raise ConfigError("codec_per_byte_cpu must be >= 0")
+        if self.accept_codecs is not None:
+            for spec in self.accept_codecs:
+                try:
+                    build_chain(spec)
+                except ReproError as exc:
+                    raise ConfigError(
+                        f"accept_codecs entry {spec!r} is not decodable: {exc}"
+                    ) from exc
 
     def cpu_cost(self, modeled_bytes: int) -> float:
         return self.per_pack_cpu + self.per_byte_cpu * modeled_bytes
@@ -114,8 +128,13 @@ class AnalyzerEngine:
             self.states[name] = level_states
             self._wire_level(name, level_states)
         self.packs_ingested = 0
-        self.bytes_ingested = 0
+        self.bytes_ingested = 0  # modelled content bytes
+        self.bytes_wire_ingested = 0  # physical frame bytes
         self.packs_rejected = 0
+        self.rejects_by_cause: dict[str, int] = {}
+        self.events_sampled_out = 0  # writer-side drops declared on frames
+        self.codecs_seen: dict[str, int] = {}  # descriptor -> packs
+        self.decode_cpu_s = 0.0  # virtual CPU charged for chain decode
         # Dogfooding channel (see enable_health_ingest): counts of monitor
         # alerts that travelled through this blackboard as data entries.
         self.health_counts: dict[str, int] = {}
@@ -186,24 +205,42 @@ class AnalyzerEngine:
     def ingest(self, pack_bytes: bytes) -> bool:
         """Feed one pack and drain the pipeline inline (deterministic).
 
-        The pack's integrity trailer is verified first: a corrupted pack is
-        rejected and counted, never submitted — the analysis pipeline keeps
-        running on whatever arrives intact.  Returns False on rejection.
+        The frame is verified first — structure, CRC, a decodable codec
+        descriptor, and (when ``accept_codecs`` is set) an *accepted*
+        descriptor.  A failing pack is rejected and counted by cause,
+        never submitted — the analysis pipeline keeps running on whatever
+        arrives intact.  Returns False on rejection.
         """
         try:
-            verify_pack(pack_bytes)
-        except PackFormatError:
+            frame = parse_frame(pack_bytes)
+            decode_chain(frame.codec)
+            accept = self.config.accept_codecs
+            if accept is not None and frame.codec not in accept:
+                raise UnknownCodecError(
+                    f"codec descriptor {frame.codec or 'identity'!r} not in "
+                    f"accept_codecs {list(accept)}"
+                )
+        except PackFormatError as exc:
+            cause = type(exc).__name__
             self.packs_rejected += 1
+            self.rejects_by_cause[cause] = self.rejects_by_cause.get(cause, 0) + 1
             if self.telemetry.enabled:
                 self.telemetry.counter("analysis.packs_rejected").inc()
+                self.telemetry.counter(f"analysis.packs_rejected.{cause}").inc()
             return False
-        # Size the entry by pack content only: the CRC and any provenance
-        # trailer ride outside the blackboard's byte accounting, so storage
-        # stats are identical with and without provenance enabled.
-        self.ml.submit_pack(pack_bytes, size=pack_content_size(pack_bytes))
+        # Size the entry by pack content only: framing, CRC, codec output
+        # and provenance sections ride outside the blackboard's byte
+        # accounting, so storage stats are identical with and without
+        # reduction or provenance enabled.
+        content = frame.content_size
+        self.ml.submit_pack(pack_bytes, size=content)
         self.ml.board.run_until_idle()
         self.packs_ingested += 1
-        self.bytes_ingested += pack_content_size(pack_bytes)
+        self.bytes_ingested += content
+        self.bytes_wire_ingested += len(pack_bytes)
+        self.events_sampled_out += frame.events_dropped
+        spec = frame.codec or "identity"
+        self.codecs_seen[spec] = self.codecs_seen.get(spec, 0) + 1
         return True
 
     # -- reduction --------------------------------------------------------------------
@@ -352,8 +389,28 @@ def analyzer_program(
         prov = peek_provenance(payload) if flows is not None else None
         if prov is not None:
             flows.on_dispatch(prov.flow_id, mpi.ctx.kernel.now)
-        # Charge the analysis CPU cost for this block to simulated time.
-        yield from mpi.compute(config.cpu_cost(nbytes))
+        # Charge the analysis CPU cost for this block to simulated time,
+        # plus the chain-decode cost when the frame names a codec.  The
+        # identity chain (no descriptor section) charges nothing extra,
+        # keeping unreduced runs bit-identical.
+        cost = config.cpu_cost(nbytes)
+        try:
+            frame = parse_frame(payload, verify=False)
+            spec = frame.codec
+        except PackFormatError:
+            spec = ""  # damaged frame; ingest below rejects and accounts it
+        if spec:
+            raw_bytes = max(0, frame.content_size - CONTENT_HEADER_SIZE)
+            try:
+                weight = decode_chain(spec).cost_weight
+            except PackFormatError:
+                weight = 0.0  # unknown descriptor; rejected at ingest
+            decode_cpu = config.codec_per_byte_cpu * raw_bytes * weight
+            engine.decode_cpu_s += decode_cpu
+            if tel.enabled:
+                tel.histogram("codec.decode_s").observe(decode_cpu)
+            cost += decode_cpu
+        yield from mpi.compute(cost)
         ok = engine.ingest(payload)
         if prov is not None:
             if ok:
@@ -392,6 +449,13 @@ def analyzer_program(
         engine.packs_ingested,
         engine.bytes_ingested,
         engine.packs_rejected,
+        {
+            "bytes_wire": engine.bytes_wire_ingested,
+            "events_sampled_out": engine.events_sampled_out,
+            "rejects_by_cause": engine.rejects_by_cause,
+            "codecs_seen": engine.codecs_seen,
+            "decode_cpu_s": engine.decode_cpu_s,
+        },
     )
     if dead_local:
         gathered = yield from _degraded_gather(
@@ -405,20 +469,37 @@ def analyzer_program(
         total_packs = engine.packs_ingested
         total_bytes = engine.bytes_ingested
         total_rejected = engine.packs_rejected
+        total_wire = engine.bytes_wire_ingested
+        total_sampled = engine.events_sampled_out
+        total_decode_cpu = engine.decode_cpu_s
+        causes = dict(engine.rejects_by_cause)
+        codecs = dict(engine.codecs_seen)
         for entry in gathered[1:]:
             if entry is None:  # dead rank's slot in a degraded gather
                 continue
-            other_states, other_packs, other_bytes, other_rejected = entry
+            other_states, other_packs, other_bytes, other_rejected, extra = entry
             engine.merge_states(other_states)
             total_packs += other_packs
             total_bytes += other_bytes
             total_rejected += other_rejected
+            total_wire += extra["bytes_wire"]
+            total_sampled += extra["events_sampled_out"]
+            total_decode_cpu += extra["decode_cpu_s"]
+            for cause, n in extra["rejects_by_cause"].items():
+                causes[cause] = causes.get(cause, 0) + n
+            for spec, n in extra["codecs_seen"].items():
+                codecs[spec] = codecs.get(spec, 0) + n
         if sink is not None:
             sink["report"] = engine.build_report()
             sink["analyzer_stats"] = {
                 "packs": total_packs,
                 "bytes": total_bytes,
+                "bytes_wire": total_wire,
+                "events_sampled_out": total_sampled,
+                "decode_cpu_s": total_decode_cpu,
                 "packs_rejected": total_rejected,
+                "rejects_by_cause": causes,
+                "codecs_seen": codecs,
                 "board": engine.ml.board.stats(),
                 "stream": stream.stats(),
                 "health_ingest": dict(engine.health_counts),

@@ -176,6 +176,9 @@ class ProfileReport:
     #: Flow-provenance summary (``FlowRegistry.summary()``) when causal
     #: pack tracing was enabled for the run; None otherwise.
     flows: Optional[dict] = None
+    #: Event-reduction summary (chain spec, wire vs content bytes, codec
+    #: CPU) when a reduction chain was active; None for identity runs.
+    reduction: Optional[dict] = None
 
     def chapter(self, app: str) -> ApplicationReport:
         for ch in self.chapters:
@@ -197,6 +200,8 @@ class ProfileReport:
             parts.append(self._render_health())
         if self.flows:
             parts.append(self._render_flows())
+        if self.reduction:
+            parts.append(self._render_reduction())
         return "\n".join(parts)
 
     def _render_telemetry(self) -> str:
@@ -354,6 +359,34 @@ class ProfileReport:
                     f"{int(w['in_flight'])} in flight)"
                     for name, w in laggiest
                 )
+            )
+        out.append("")
+        return "\n".join(out)
+
+    def _render_reduction(self) -> str:
+        """Wire-volume savings of the event-reduction codec chain."""
+        r = self.reduction
+        out = ["## Reduction", ""]
+        out.append(f"- chain: `{r.get('chain') or 'identity'}`")
+        content = r.get("bytes_content", 0)
+        wire = r.get("bytes_wire", 0)
+        out.append(
+            f"- stream volume: {fmt_bytes(wire)} on the wire for "
+            f"{fmt_bytes(content)} of content "
+            f"(ratio {r.get('ratio', 0.0):.3f})"
+        )
+        sampled = r.get("events_sampled_out", 0)
+        if sampled:
+            out.append(f"- events sampled out (exact accounting): {sampled}")
+        out.append(
+            f"- codec CPU charged: encode {fmt_time(r.get('encode_cpu_s', 0.0))}, "
+            f"decode {fmt_time(r.get('decode_cpu_s', 0.0))}"
+        )
+        codecs = r.get("codecs_seen") or {}
+        if codecs:
+            out.append(
+                "- descriptors seen at analysis: "
+                + ", ".join(f"`{k}` x{n}" for k, n in sorted(codecs.items()))
             )
         out.append("")
         return "\n".join(out)

@@ -19,6 +19,7 @@ from repro.bench.compare import (
     metric_direction,
 )
 from repro.bench.chaos import ChaosPoint, ChaosResult, chaos_resilience, load_plan
+from repro.bench.codec import CodecPoint, CodecResult, codec_reduction
 from repro.bench.flow import FlowPoint, FlowResult, flow_attribution
 from repro.bench.harness import OverheadPoint, measure_overhead, sweep
 from repro.bench.figures import (
@@ -48,6 +49,9 @@ __all__ = [
     "ChaosResult",
     "chaos_resilience",
     "load_plan",
+    "CodecPoint",
+    "CodecResult",
+    "codec_reduction",
     "FlowPoint",
     "FlowResult",
     "flow_attribution",

@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench trace-sizes
     python -m repro.bench fs-comparison
     python -m repro.bench chaos [--chaos PLAN]
+    python -m repro.bench codec
     python -m repro.bench flow
     python -m repro.bench all
     python -m repro.bench compare BASELINE.json CANDIDATE.json [--tolerance T]
@@ -37,6 +38,7 @@ from pathlib import Path
 from repro.bench import (
     bi_bandwidth_table,
     chaos_resilience,
+    codec_reduction,
     fig14_stream_throughput,
     flow_attribution,
     fig15_overhead,
@@ -60,6 +62,7 @@ _DRIVERS = {
     "trace-sizes": trace_size_table,
     "fs-comparison": fs_comparison_table,
     "chaos": chaos_resilience,
+    "codec": codec_reduction,
     "flow": flow_attribution,
 }
 

@@ -93,16 +93,20 @@ class MultiLevelBlackboard:
 
 
 def _classify_by_app_id(levels: list[str]) -> Callable[[DataEntry], str]:
-    """Default classifier: read the pack header's app id, index into levels."""
+    """Default classifier: read the frame header's app id, index into levels.
+
+    Dispatch needs only the 20-byte header peek — decoding the payload
+    (and inverting its codec chain) is the unpacker KS's job, once, after
+    the pack has been routed to its level.
+    """
+    from repro.codec.frame import peek_header
 
     def classify(entry: DataEntry) -> str:
-        from repro.instrument.packer import decode_pack
-
-        header, _events = decode_pack(entry.payload)
-        if header.app_id >= len(levels):
+        info = peek_header(entry.payload)
+        if info.app_id >= len(levels):
             raise BlackboardError(
-                f"pack app_id {header.app_id} has no level (have {len(levels)})"
+                f"pack app_id {info.app_id} has no level (have {len(levels)})"
             )
-        return levels[header.app_id]
+        return levels[info.app_id]
 
     return classify

@@ -1,0 +1,378 @@
+"""The versioned pack frame: one header plus typed, length-prefixed sections.
+
+Wire layout (all little-endian)::
+
+    u32 magic "EVF2" | u16 version | u16 app_id | u32 rank | u32 count |
+    u16 nsections | u16 flags
+    -- then `nsections` sections, each:
+    u16 type | u16 reserved | u32 length | <length bytes>
+
+Section types::
+
+    1  PAYLOAD     event records, possibly transformed by a codec chain
+    2  CRC         u32 crc32 over every frame byte before this section's header
+    3  PROVENANCE  u64 flow_id | u16 origin_app | u32 origin_rank | f64 t_seal
+    4  CODEC       UTF-8 codec-chain spec, e.g. "delta+dict+zlib"
+    5  SAMPLING    u32 events dropped by the adaptive sampler for this pack
+
+The writer always emits the CRC section last so it covers everything in
+front of it; sections a reader does not recognise are skipped (and
+preserved on re-emit), making the format forward-compatible.  ``count``
+is the number of event records the payload decodes to — after sampling,
+before any lossless transform.
+
+Frame parsing lives *only* here.  The packer, the stream layer, fault
+tampering and analyzer ingest all share this implementation; there is no
+trailer sniffing anywhere else.
+
+Content accounting: the modelled byte volume of a pack is
+:func:`frame_content_size` — a fixed 16-byte logical header plus 40 bytes
+per record, matching the original v1 layout exactly.  Framing overhead,
+checksums, provenance stamps and codec output sizes are all
+accounting-exempt, so the integrity/observability envelope never shifts
+simulated figures and the identity chain stays bit-identical to the
+pre-frame format's timing.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ChecksumError,
+    FrameTruncatedError,
+    PackFormatError,
+    SectionLengthError,
+)
+
+FRAME_MAGIC = 0x45564632  # "EVF2"
+FRAME_VERSION = 2
+_HEADER_FMT = "<IHHIIHH"  # magic, version, app_id, rank, count, nsections, flags
+FRAME_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+assert FRAME_HEADER_SIZE == 20
+_SECTION_FMT = "<HHI"  # type, reserved, length
+SECTION_HEADER_SIZE = struct.calcsize(_SECTION_FMT)
+assert SECTION_HEADER_SIZE == 8
+
+SEC_PAYLOAD = 1
+SEC_CRC = 2
+SEC_PROVENANCE = 3
+SEC_CODEC = 4
+SEC_SAMPLING = 5
+
+_SECTION_NAMES = {
+    SEC_PAYLOAD: "PAYLOAD",
+    SEC_CRC: "CRC",
+    SEC_PROVENANCE: "PROVENANCE",
+    SEC_CODEC: "CODEC",
+    SEC_SAMPLING: "SAMPLING",
+}
+
+_PROV_FMT = "<QHId"  # flow_id, origin_app, origin_rank, t_seal
+PROVENANCE_BODY_SIZE = struct.calcsize(_PROV_FMT)
+assert PROVENANCE_BODY_SIZE == 22
+_CRC_FMT = "<I"
+CRC_BODY_SIZE = 4
+_SAMPLING_FMT = "<I"
+SAMPLING_BODY_SIZE = 4
+
+# Modelled content accounting (v1-compatible): 16-byte logical header plus
+# 40 bytes per record.  These are *accounting* constants, not wire offsets;
+# instrument.events asserts its record size matches CONTENT_RECORD_SIZE.
+CONTENT_HEADER_SIZE = 16
+CONTENT_RECORD_SIZE = 40
+
+
+def section_name(kind: int) -> str:
+    """Human-readable name for a section type (``UNKNOWN(n)`` otherwise)."""
+    return _SECTION_NAMES.get(kind, f"UNKNOWN({kind})")
+
+
+@dataclass(frozen=True)
+class PackProvenance:
+    """The compact flow stamp carried by a provenance-traced pack."""
+
+    flow_id: int
+    app_id: int
+    rank: int
+    t_seal: float
+
+
+@dataclass
+class Frame:
+    """A parsed (or under-construction) pack frame.
+
+    ``sections`` holds every non-CRC section in wire order; the CRC is
+    recomputed on :meth:`to_bytes`, so round-tripping a frame through
+    parse → edit → emit always yields a valid checksum.  ``crc_ok`` /
+    ``stored_crc`` report what :func:`parse_frame` found on the wire
+    (``None`` for a frame built in memory).
+    """
+
+    app_id: int
+    rank: int
+    count: int
+    flags: int = 0
+    sections: list[tuple[int, bytes]] = field(default_factory=list)
+    stored_crc: int | None = None
+    crc_ok: bool | None = None
+    #: Body byte offsets aligned with ``sections`` — filled by
+    #: :func:`parse_frame` only (empty for frames built in memory), so
+    #: tooling can address wire bytes without a second format walk.
+    offsets: list[int] = field(default_factory=list)
+
+    def section(self, kind: int) -> bytes | None:
+        """Body of the first section of ``kind``, or ``None``."""
+        for stype, body in self.sections:
+            if stype == kind:
+                return body
+        return None
+
+    @property
+    def payload(self) -> bytes:
+        return self.section(SEC_PAYLOAD) or b""
+
+    @property
+    def codec(self) -> str:
+        """The codec-chain spec this payload was encoded with ("" = identity)."""
+        body = self.section(SEC_CODEC)
+        if body is None:
+            return ""
+        try:
+            return body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SectionLengthError(f"codec descriptor is not UTF-8: {exc}") from exc
+
+    @property
+    def provenance(self) -> PackProvenance | None:
+        body = self.section(SEC_PROVENANCE)
+        if body is None:
+            return None
+        flow_id, app_id, rank, t_seal = struct.unpack(_PROV_FMT, body)
+        return PackProvenance(flow_id=flow_id, app_id=app_id, rank=rank, t_seal=t_seal)
+
+    @property
+    def events_dropped(self) -> int:
+        """Events the adaptive sampler dropped while sealing this pack."""
+        body = self.section(SEC_SAMPLING)
+        if body is None:
+            return 0
+        return struct.unpack(_SAMPLING_FMT, body)[0]
+
+    def replace_section(self, kind: int, body: bytes) -> None:
+        """Replace the first section of ``kind`` in place, or append one."""
+        for i, (stype, _) in enumerate(self.sections):
+            if stype == kind:
+                self.sections[i] = (kind, bytes(body))
+                return
+        self.sections.append((kind, bytes(body)))
+
+    def drop_section(self, kind: int) -> None:
+        """Remove every section of ``kind`` (no-op when absent)."""
+        self.sections = [(t, b) for t, b in self.sections if t != kind]
+
+    def with_provenance(self, prov: PackProvenance) -> "Frame":
+        self.replace_section(
+            SEC_PROVENANCE,
+            struct.pack(_PROV_FMT, prov.flow_id, prov.app_id, prov.rank, prov.t_seal),
+        )
+        return self
+
+    @property
+    def content_size(self) -> int:
+        """Modelled content bytes: logical header + fixed-width records."""
+        return CONTENT_HEADER_SIZE + self.count * CONTENT_RECORD_SIZE
+
+    def to_bytes(self) -> bytes:
+        """Serialize, appending a freshly computed CRC section last."""
+        parts = [
+            struct.pack(
+                _HEADER_FMT,
+                FRAME_MAGIC,
+                FRAME_VERSION,
+                self.app_id,
+                self.rank,
+                self.count,
+                len(self.sections) + 1,  # + the CRC section
+                self.flags,
+            )
+        ]
+        for stype, body in self.sections:
+            parts.append(struct.pack(_SECTION_FMT, stype, 0, len(body)))
+            parts.append(body)
+        covered = b"".join(parts)
+        crc = zlib.crc32(covered)
+        return covered + struct.pack(
+            _SECTION_FMT, SEC_CRC, 0, CRC_BODY_SIZE
+        ) + struct.pack(_CRC_FMT, crc)
+
+
+def build_frame(
+    app_id: int,
+    rank: int,
+    count: int,
+    payload: bytes,
+    codec: str = "",
+    provenance: PackProvenance | None = None,
+    events_dropped: int = 0,
+    flags: int = 0,
+) -> bytes:
+    """Serialize one frame with the canonical section order.
+
+    Sections are written PAYLOAD, CODEC?, SAMPLING?, PROVENANCE?, CRC —
+    optional sections appear only when non-trivial, so a plain
+    identity-chain pack carries exactly payload + CRC.
+    """
+    if not (0 <= app_id < 2**16):
+        raise PackFormatError(f"app_id {app_id} outside u16")
+    if not (0 <= rank < 2**32):
+        raise PackFormatError(f"rank {rank} outside u32")
+    frame = Frame(app_id=app_id, rank=rank, count=count, flags=flags)
+    frame.sections.append((SEC_PAYLOAD, bytes(payload)))
+    if codec:
+        frame.sections.append((SEC_CODEC, codec.encode("utf-8")))
+    if events_dropped:
+        frame.sections.append(
+            (SEC_SAMPLING, struct.pack(_SAMPLING_FMT, events_dropped))
+        )
+    if provenance is not None:
+        frame.with_provenance(provenance)
+    return frame.to_bytes()
+
+
+def parse_frame(blob, verify: bool = True) -> Frame:
+    """Parse one frame; the single wire-format reader in the codebase.
+
+    With ``verify=True`` (the default) a missing or mismatching CRC
+    section raises :class:`ChecksumError`; with ``verify=False`` the
+    checksum outcome is only recorded on ``Frame.crc_ok`` so diagnostic
+    tools can inspect damaged frames.  Unknown section types are kept in
+    ``Frame.sections`` untouched (forward compatibility: they survive a
+    parse → emit round trip).
+    """
+    try:
+        view = memoryview(blob)
+    except TypeError:
+        raise PackFormatError(f"pack payload is not bytes: {type(blob).__name__}")
+    total = len(view)
+    if total < FRAME_HEADER_SIZE:
+        raise FrameTruncatedError(
+            f"frame of {total} bytes shorter than {FRAME_HEADER_SIZE}-byte header"
+        )
+    magic, version, app_id, rank, count, nsections, flags = struct.unpack_from(
+        _HEADER_FMT, view, 0
+    )
+    if magic != FRAME_MAGIC:
+        raise PackFormatError(f"bad pack magic {magic:#010x}")
+    if version != FRAME_VERSION:
+        raise PackFormatError(f"unsupported pack version {version}")
+    frame = Frame(app_id=app_id, rank=rank, count=count, flags=flags)
+    offset = FRAME_HEADER_SIZE
+    crc_covered_end: int | None = None
+    for _ in range(nsections):
+        if offset + SECTION_HEADER_SIZE > total:
+            raise FrameTruncatedError(
+                f"frame ended at byte {total} inside a section header at {offset}"
+            )
+        stype, _reserved, length = struct.unpack_from(_SECTION_FMT, view, offset)
+        body_start = offset + SECTION_HEADER_SIZE
+        if body_start + length > total:
+            raise FrameTruncatedError(
+                f"section {section_name(stype)} declares {length} bytes at offset "
+                f"{body_start} but frame has {total}"
+            )
+        body = bytes(view[body_start : body_start + length])
+        if stype == SEC_CRC:
+            if length != CRC_BODY_SIZE:
+                raise SectionLengthError(
+                    f"CRC section of {length} bytes, expected {CRC_BODY_SIZE}"
+                )
+            if crc_covered_end is None:  # first CRC wins; covers bytes before it
+                crc_covered_end = offset
+                frame.stored_crc = struct.unpack(_CRC_FMT, body)[0]
+        else:
+            if stype == SEC_PROVENANCE and length != PROVENANCE_BODY_SIZE:
+                raise SectionLengthError(
+                    f"provenance section of {length} bytes, "
+                    f"expected {PROVENANCE_BODY_SIZE}"
+                )
+            if stype == SEC_SAMPLING and length != SAMPLING_BODY_SIZE:
+                raise SectionLengthError(
+                    f"sampling section of {length} bytes, expected {SAMPLING_BODY_SIZE}"
+                )
+            frame.sections.append((stype, body))
+            frame.offsets.append(body_start)
+        offset = body_start + length
+    if offset != total:
+        raise SectionLengthError(
+            f"{total - offset} trailing bytes after the {nsections} declared sections"
+        )
+    if crc_covered_end is not None:
+        frame.crc_ok = zlib.crc32(view[:crc_covered_end]) == frame.stored_crc
+    if verify:
+        if frame.stored_crc is None:
+            raise ChecksumError("frame has no CRC section")
+        if not frame.crc_ok:
+            computed = zlib.crc32(view[:crc_covered_end])
+            raise ChecksumError(
+                f"pack checksum mismatch: stored {frame.stored_crc:#010x}, "
+                f"computed {computed:#010x}"
+            )
+    return frame
+
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """Cheap header peek: everything knowable without walking sections."""
+
+    app_id: int
+    rank: int
+    count: int
+    nsections: int
+    flags: int
+
+    @property
+    def content_size(self) -> int:
+        return CONTENT_HEADER_SIZE + self.count * CONTENT_RECORD_SIZE
+
+
+def peek_header(blob) -> FrameInfo:
+    """Decode just the 20-byte frame header (no section walk, no CRC)."""
+    try:
+        view = memoryview(blob)
+    except TypeError:
+        raise PackFormatError(f"pack payload is not bytes: {type(blob).__name__}")
+    if len(view) < FRAME_HEADER_SIZE:
+        raise FrameTruncatedError(
+            f"frame of {len(view)} bytes shorter than {FRAME_HEADER_SIZE}-byte header"
+        )
+    magic, version, app_id, rank, count, nsections, flags = struct.unpack_from(
+        _HEADER_FMT, view, 0
+    )
+    if magic != FRAME_MAGIC:
+        raise PackFormatError(f"bad pack magic {magic:#010x}")
+    if version != FRAME_VERSION:
+        raise PackFormatError(f"unsupported pack version {version}")
+    return FrameInfo(
+        app_id=app_id, rank=rank, count=count, nsections=nsections, flags=flags
+    )
+
+
+def frame_content_size(blob) -> int:
+    """Modelled content bytes of a serialized frame (header peek only)."""
+    return peek_header(blob).content_size
+
+
+def peek_provenance(blob) -> PackProvenance | None:
+    """Read a pack's provenance stamp without touching the payload.
+
+    Returns ``None`` for anything that is not a provenance-stamped frame —
+    non-bytes payloads, damaged frames, or frames without the section — so
+    hot paths can call it unconditionally on whatever travels a stream.
+    """
+    try:
+        return parse_frame(blob, verify=False).provenance
+    except PackFormatError:
+        return None

@@ -14,11 +14,13 @@ The session builds the full measurement chain of the paper:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
 from repro.analysis.engine import AnalysisConfig, analyzer_program
+from repro.codec.stages import build_chain
 from repro.analysis.report import ProfileReport
 from repro.apps.base import AppKernel
 from repro.faults import FaultInjector, FaultPlan
@@ -77,6 +79,9 @@ class SessionResult:
     #: ``FlowRegistry.summary()`` when provenance tracing was enabled:
     #: per-stage latency statistics, watermarks and the critical path.
     flows: dict[str, Any] | None = None
+    #: Event-reduction summary (chain spec, wire/content bytes, codec CPU)
+    #: when a reduction chain was active; None for identity runs.
+    reduction: dict[str, Any] | None = None
 
     def app(self, name: str) -> AppRun:
         try:
@@ -145,6 +150,33 @@ class CouplingSession:
             self._ratio = float(ratio)
             self._analyzer_nprocs = None
         return self.analyzer_nprocs
+
+    def set_reduction(self, spec: str | Sequence[str] | None) -> str:
+        """Choose the event-reduction chain applied to every emitted pack.
+
+        ``spec`` is either a ``"+"``-joined string (``"delta+dict+zlib"``),
+        a sequence of stage specs (``["delta", "dict", "zlib"]``), or
+        None / ``""`` for the identity chain.  The chain is validated and
+        normalized here (:class:`ConfigError` on unknown stages or bad
+        ordering) and carried on the wire in each frame's codec-descriptor
+        section, so the analyzer decodes exactly what was encoded.
+
+        Returns the normalized chain spec string.
+        """
+        if spec is None:
+            spec_str = ""
+        elif isinstance(spec, str):
+            spec_str = spec
+        else:
+            spec_str = "+".join(spec)
+        try:
+            chain = build_chain(spec_str)
+        except ReproError as exc:
+            raise ConfigError(f"invalid reduction chain {spec_str!r}: {exc}") from exc
+        self.instrumentation = dataclasses.replace(
+            self.instrumentation, reduction=chain.spec
+        )
+        return chain.spec
 
     def enable_monitor(
         self, config: MonitorConfig | None = None, router=None
@@ -289,6 +321,25 @@ class CouplingSession:
         if report is not None and flows is not None:
             report.flows = flows
         stats = sink.get("analyzer_stats")
+        reduction = None
+        if self.instrumentation.reduction:
+            interceptors = [i for ranks in instr_registry.values() for i in ranks]
+            bytes_content = sum(i.builder.bytes_content for i in interceptors)
+            bytes_wire = sum(i.builder.bytes_wire for i in interceptors)
+            reduction = {
+                "chain": self.instrumentation.reduction,
+                "bytes_content": bytes_content,
+                "bytes_wire": bytes_wire,
+                "ratio": bytes_wire / bytes_content if bytes_content else 0.0,
+                "events_sampled_out": sum(
+                    i.builder.events_sampled_out for i in interceptors
+                ),
+                "encode_cpu_s": sum(i.codec_cpu_s for i in interceptors),
+                "decode_cpu_s": stats.get("decode_cpu_s", 0.0) if stats else 0.0,
+                "codecs_seen": dict(stats.get("codecs_seen", {})) if stats else {},
+            }
+            if report is not None:
+                report.reduction = reduction
         attempted = sum(run.packs + run.packs_dropped for run in apps.values())
         analyzed = stats["packs"] if stats is not None else 0
         loss = 1.0 - analyzed / attempted if attempted > 0 else 0.0
@@ -306,6 +357,7 @@ class CouplingSession:
             faults=injector.summary() if injector is not None else None,
             data_loss_fraction=max(0.0, loss),
             flows=flows,
+            reduction=reduction,
         )
 
     def run_reference(self) -> SessionResult:

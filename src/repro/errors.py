@@ -81,6 +81,22 @@ class PackFormatError(InstrumentationError):
     """An event pack failed to decode (corrupt header or payload)."""
 
 
+class FrameTruncatedError(PackFormatError):
+    """A pack frame ended before its declared sections did."""
+
+
+class SectionLengthError(PackFormatError):
+    """A frame section declared a length inconsistent with its type or blob."""
+
+
+class ChecksumError(PackFormatError):
+    """A frame's CRC-32 section is missing or does not match its bytes."""
+
+
+class UnknownCodecError(PackFormatError):
+    """A frame's codec descriptor names a reduction stage this build lacks."""
+
+
 class IOSimError(ReproError):
     """Errors raised by the parallel file-system model."""
 

@@ -32,7 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import ConfigError, SimulationError
+from repro.codec.frame import SEC_PAYLOAD, parse_frame
+from repro.errors import ConfigError, PackFormatError, SimulationError
 from repro.faults.plan import (
     ANALYZER_CRASH,
     ANALYZER_STALL,
@@ -61,11 +62,28 @@ class FaultRecord:
 
 
 def _flip_middle_byte(blob: Any) -> Any:
-    """Deterministically corrupt a bytes payload (checksum-detectable)."""
+    """Deterministically corrupt a bytes payload (checksum-detectable).
+
+    For a well-formed frame the flipped byte is the middle of the PAYLOAD
+    section — located through the shared frame parser, never by offset
+    arithmetic — so the corruption lands on event data and the stored CRC
+    (which is left untouched) no longer matches.  Non-frame payloads fall
+    back to flipping the middle byte of the blob.
+    """
     if not isinstance(blob, (bytes, bytearray)) or len(blob) == 0:
         return blob
     out = bytearray(blob)
-    out[len(out) // 2] ^= 0xFF
+    target = len(out) // 2
+    try:
+        frame = parse_frame(blob, verify=False)
+    except PackFormatError:
+        frame = None
+    if frame is not None:
+        for (stype, body), offset in zip(frame.sections, frame.offsets):
+            if stype == SEC_PAYLOAD and body:
+                target = offset + len(body) // 2
+                break
+    out[target] ^= 0xFF
     return bytes(out)
 
 

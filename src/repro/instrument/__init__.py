@@ -24,7 +24,6 @@ from repro.instrument.packer import (
     pack_content_size,
     verify_pack,
     PACK_HEADER_SIZE,
-    PACK_TRAILER_SIZE,
 )
 from repro.instrument.overhead import InstrumentationCost
 from repro.instrument.interceptor import StreamingInstrumentation
@@ -43,7 +42,6 @@ __all__ = [
     "pack_content_size",
     "verify_pack",
     "PACK_HEADER_SIZE",
-    "PACK_TRAILER_SIZE",
     "InstrumentationCost",
     "StreamingInstrumentation",
 ]

@@ -22,6 +22,12 @@ from repro.mpi.pmpi import CallRecord
 _STRUCT_FMT = "<HHiiIqdd"
 EVENT_RECORD_SIZE = struct.calcsize(_STRUCT_FMT)
 assert EVENT_RECORD_SIZE == 40
+# The codec layer hardcodes the record layout (24-byte call-site prefix +
+# two f64 timestamps) without importing this module; keep them in lockstep.
+from repro.codec.frame import CONTENT_RECORD_SIZE as _CODEC_RECORD_SIZE  # noqa: E402
+from repro.codec.stages import RECORD_SIZE as _STAGE_RECORD_SIZE  # noqa: E402
+
+assert EVENT_RECORD_SIZE == _CODEC_RECORD_SIZE == _STAGE_RECORD_SIZE
 
 EVENT_DTYPE = np.dtype(
     [

@@ -17,13 +17,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.codec.frame import PackProvenance
+from repro.codec.stages import build_chain
 from repro.errors import InstrumentationError
+from repro.instrument.events import EVENT_RECORD_SIZE
 from repro.instrument.overhead import InstrumentationCost
-from repro.instrument.packer import (
-    EventPackBuilder,
-    attach_provenance,
-    pack_content_size,
-)
+from repro.instrument.packer import EventPackBuilder, pack_content_size
 from repro.mpi.pmpi import CallRecord, Interceptor
 from repro.vmpi.mapping import MapPolicy, ROUND_ROBIN, VMPIMap, map_partitions
 from repro.vmpi.stream import BALANCE_ROUND_ROBIN, VMPIStream
@@ -55,10 +54,12 @@ class StreamingInstrumentation(Interceptor):
         # Cap the real pack size so the modelled volume (with per-call
         # context) still fits one stream block.
         real_capacity = max(4096, int(self.cost.block_size / self.cost.volume_multiplier))
+        self.chain = build_chain(self.cost.reduction) if self.cost.reduction else None
         self.builder = EventPackBuilder(
             app_id=partition.index,
             rank=mpi.rank,
             capacity_bytes=real_capacity,
+            chain=self.chain,
         )
         self.vmap = VMPIMap()
         self.stream = VMPIStream(
@@ -75,6 +76,7 @@ class StreamingInstrumentation(Interceptor):
         self.bytes_streamed_modeled = 0
         self.packs_flushed = 0
         self.packs_dropped = 0
+        self.codec_cpu_s = 0.0  # virtual CPU spent encoding (chain only)
         self._open = False
         # CPU accounting is batched: per-event costs accrue as a debt that
         # is charged to the timeline in quanta, keeping the discrete-event
@@ -144,31 +146,53 @@ class StreamingInstrumentation(Interceptor):
     def _flush(self):
         if self.builder.count == 0:
             return
-        blob = self.builder.emit()
-        # Provenance: register the flow at seal time and stamp the pack
-        # with its trailer so the analyzer side can recover the flow id
-        # from the wire bytes.  Like the CRC, the trailer is exempt from
-        # all byte accounting; with no registry attached (the default)
-        # this is one branch and the pack bytes are unchanged.
+        kernel = self.mpi.ctx.kernel
+        # Provenance: register the flow at seal time; the stamp travels
+        # in the frame's provenance section so the analyzer side recovers
+        # the flow id from the wire bytes.  Like the CRC section it is
+        # exempt from all byte accounting; with no registry attached (the
+        # default) this is one branch and the pack bytes are unchanged.
+        provenance = None
         flows = self.mpi.ctx.world.flows
         if flows is not None:
             record = flows.begin(
                 app_id=self.builder.app_id,
                 rank=self.builder.rank,
                 global_rank=self.mpi.ctx.global_rank,
-                t=self.mpi.ctx.kernel.now,
+                t=kernel.now,
             )
             if record is not None:
-                blob = attach_provenance(
-                    blob, record.flow_id, record.app_id, record.origin_rank,
-                    record.t_seal,
+                provenance = PackProvenance(
+                    flow_id=record.flow_id,
+                    app_id=record.app_id,
+                    rank=record.origin_rank,
+                    t_seal=record.t_seal,
                 )
-        # The integrity trailer rides outside the modelled volume budget:
-        # charge only the header+records content, as before checksums.
+        raw_bytes = self.builder.count * EVENT_RECORD_SIZE
+        blob = self.builder.emit(now=kernel.now, provenance=provenance)
+        # Framing, checksum and provenance sections ride outside the
+        # modelled volume budget: charge the content (header + kept
+        # records), scaled by the chain's measured compression when a
+        # reduction is active.  The identity chain takes neither branch,
+        # keeping those runs bit-identical to the unreduced pipeline.
         modeled = self.cost.modeled_bytes(pack_content_size(blob))
+        if self.chain is not None:
+            encode_cpu = (
+                self.cost.codec_per_byte_cpu * raw_bytes * self.chain.cost_weight
+            )
+            if encode_cpu > 0:
+                yield kernel.timeout(encode_cpu)
+            self.codec_cpu_s += encode_cpu
+            telemetry = self.mpi.ctx.world.telemetry
+            telemetry.histogram("codec.encode_s").observe(encode_cpu)
+            enc = self.builder.last_encode
+            if enc is not None and enc.raw_bytes > 0:
+                ratio = len(enc.payload) / enc.raw_bytes
+                telemetry.histogram("codec.pack_ratio").observe(ratio)
+                modeled = max(1, int(modeled * ratio))
         modeled = min(modeled, self.stream.block_size)
         if self.cost.pack_flush_cpu > 0:
-            yield self.mpi.ctx.kernel.timeout(self.cost.pack_flush_cpu)
+            yield kernel.timeout(self.cost.pack_flush_cpu)
         written = yield from self.stream.write(nbytes=modeled, payload=blob)
         if written == 0:
             # Overflow policy (or an injected fault) discarded the pack.

@@ -1,58 +1,59 @@
 """Event packs: the ~1 MB blocks travelling through VMPI streams.
 
-Wire layout::
+Since wire format v2 a pack is a :mod:`repro.codec.frame` — one header
+plus typed, length-prefixed sections (payload, CRC, codec descriptor,
+sampling accounting, provenance).  Everything here is a thin wrapper
+over that single frame implementation; there is no trailer sniffing or
+byte arithmetic left in this module.
 
-    u32 magic | u16 version | u16 app_id | u32 rank | u32 count |
-    <count records> | u32 crc32 [| provenance trailer]
+Accounting still budgets the v1 content layout — a 16-byte logical
+header plus 40 bytes per record (:data:`PACK_HEADER_SIZE`,
+``EVENT_RECORD_SIZE``) — so pack capacity, ``size_bytes`` and the
+modelled stream volume are independent of framing, checksums,
+provenance stamps and codec output sizes.  ``PackHeader.count`` is the
+number of *kept* records (after any sampling stage), which is also what
+the payload decodes back to.
 
-``app_id`` is the partition index of the producing application (the
-multi-level blackboard dispatch key), ``rank`` its virtual (per-application)
-rank.  The trailing CRC-32 covers header + records, so a pack corrupted in
-flight is rejected by :func:`verify_pack` / :func:`decode_pack` instead of
-poisoning the analyzer.  The trailer is accounting-exempt: pack capacity,
-``size_bytes`` and the modelled stream volume all budget header + records
-only, keeping simulated figures independent of the integrity envelope.
-
-When causal flow tracing is on (see :mod:`repro.telemetry.provenance`), a
-second fixed-size trailer rides *after* the CRC::
-
-    u64 flow_id | u16 origin_app | u32 origin_rank | f64 t_seal | u32 prov_magic
-
-It identifies the pack's flow across process boundaries — the analyzer
-recovers the flow id from the wire bytes, not from shared Python state.
-Like the CRC it is accounting-exempt (:func:`pack_content_size` strips
-both), and it is *outside* the checksum so hop stamping can never be
-confused with payload corruption.  Packs without the trailer (provenance
-off, or an unsampled flow) are byte-identical to the pre-provenance
-format; presence is detected by the trailing magic, which a CRC word
-collides with at odds of 2^-32 — negligible for simulation artefacts.
+When a reduction chain is configured (see :mod:`repro.codec.stages`),
+:meth:`EventPackBuilder.emit` encodes the sealed batch and stamps the
+chain spec into the frame's codec-descriptor section, so the analyzer
+self-describes its decode path from the wire bytes alone.
 """
 
 from __future__ import annotations
 
-import struct
-import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.codec.frame import (
+    CONTENT_HEADER_SIZE,
+    SEC_PROVENANCE,
+    PackProvenance,
+    build_frame,
+    frame_content_size,
+    parse_frame,
+    peek_provenance,
+)
+from repro.codec.stages import CodecChain, decode_chain
 from repro.errors import PackFormatError
-from repro.instrument.events import EVENT_RECORD_SIZE, decode_events
+from repro.instrument.events import EVENT_RECORD_SIZE, decode_events, encode_event
 from repro.mpi.pmpi import CallRecord
-from repro.instrument.events import encode_event
 
-_MAGIC = 0x45564E54  # "EVNT"
-_VERSION = 1
-_HEADER_FMT = "<IHHII"
-PACK_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
-assert PACK_HEADER_SIZE == 16
-_TRAILER_FMT = "<I"
-PACK_TRAILER_SIZE = struct.calcsize(_TRAILER_FMT)
-assert PACK_TRAILER_SIZE == 4
-_PROV_MAGIC = 0x50524F56  # "PROV"
-_PROV_FMT = "<QHIdI"
-PACK_PROV_SIZE = struct.calcsize(_PROV_FMT)
-assert PACK_PROV_SIZE == 26
+PACK_HEADER_SIZE = CONTENT_HEADER_SIZE  # modelled content header, v1-compatible
+
+__all__ = [
+    "PACK_HEADER_SIZE",
+    "PackHeader",
+    "PackProvenance",
+    "EventPackBuilder",
+    "attach_provenance",
+    "peek_provenance",
+    "strip_provenance",
+    "pack_content_size",
+    "verify_pack",
+    "decode_pack",
+]
 
 
 @dataclass(frozen=True)
@@ -67,9 +68,20 @@ class PackHeader:
 
 
 class EventPackBuilder:
-    """Accumulates encoded events until the block budget is reached."""
+    """Accumulates encoded events until the block budget is reached.
 
-    def __init__(self, app_id: int, rank: int, capacity_bytes: int = 1024 * 1024):
+    ``chain`` (a :class:`repro.codec.stages.CodecChain`) is applied when
+    the pack is sealed; the builder keeps exact reduction accounting in
+    ``bytes_content`` / ``bytes_wire`` / ``events_sampled_out``.
+    """
+
+    def __init__(
+        self,
+        app_id: int,
+        rank: int,
+        capacity_bytes: int = 1024 * 1024,
+        chain: CodecChain | None = None,
+    ):
         min_capacity = PACK_HEADER_SIZE + EVENT_RECORD_SIZE
         if capacity_bytes < min_capacity:
             raise PackFormatError(
@@ -83,9 +95,14 @@ class EventPackBuilder:
         self.rank = rank
         self.capacity_bytes = capacity_bytes
         self.max_records = (capacity_bytes - PACK_HEADER_SIZE) // EVENT_RECORD_SIZE
+        self.chain = chain if chain else None
         self._records: list[bytes] = []
         self.total_events = 0
         self.packs_emitted = 0
+        self.bytes_content = 0  # modelled content bytes of emitted packs
+        self.bytes_wire = 0  # physical frame bytes of emitted packs
+        self.events_sampled_out = 0
+        self.last_encode = None  # EncodeResult of the latest emit (chain only)
 
     @property
     def count(self) -> int:
@@ -105,120 +122,86 @@ class EventPackBuilder:
         self.total_events += 1
         return self.full
 
-    def emit(self) -> bytes:
-        """Serialize and reset; empty packs serialize with count == 0."""
-        header = struct.pack(
-            _HEADER_FMT, _MAGIC, _VERSION, self.app_id, self.rank, len(self._records)
+    def emit(
+        self, now: float = 0.0, provenance: PackProvenance | None = None
+    ) -> bytes:
+        """Seal, encode and reset; empty packs serialize with count == 0."""
+        records = b"".join(self._records)
+        if self.chain is not None:
+            result = self.chain.encode(records, now=now)
+            payload, count = result.payload, result.count
+            dropped, spec = result.events_dropped, self.chain.spec
+            self.last_encode = result
+        else:
+            payload, count = records, len(self._records)
+            dropped, spec = 0, ""
+        blob = build_frame(
+            self.app_id,
+            self.rank,
+            count,
+            payload,
+            codec=spec,
+            provenance=provenance,
+            events_dropped=dropped,
         )
-        content = header + b"".join(self._records)
-        blob = content + struct.pack(_TRAILER_FMT, zlib.crc32(content))
         self._records.clear()
         self.packs_emitted += 1
+        self.bytes_content += PACK_HEADER_SIZE + count * EVENT_RECORD_SIZE
+        self.bytes_wire += len(blob)
+        self.events_sampled_out += dropped
         return blob
-
-
-@dataclass(frozen=True)
-class PackProvenance:
-    """The compact flow stamp carried by a provenance-traced pack."""
-
-    flow_id: int
-    app_id: int
-    rank: int
-    t_seal: float
 
 
 def attach_provenance(
     blob: bytes, flow_id: int, app_id: int, rank: int, t_seal: float
 ) -> bytes:
-    """Append a provenance trailer to a sealed pack (after the CRC)."""
-    return blob + struct.pack(_PROV_FMT, flow_id, app_id, rank, t_seal, _PROV_MAGIC)
-
-
-def peek_provenance(blob) -> PackProvenance | None:
-    """Read a pack's provenance trailer without touching the payload.
-
-    Returns ``None`` for anything that is not a provenance-stamped pack —
-    non-bytes payloads, short blobs, or packs without the trailer — so hot
-    paths can call it unconditionally on whatever travels a stream.
-    """
-    try:
-        view = memoryview(blob)
-    except TypeError:
-        return None
-    if len(view) < PACK_HEADER_SIZE + PACK_TRAILER_SIZE + PACK_PROV_SIZE:
-        return None
-    flow_id, app_id, rank, t_seal, magic = struct.unpack_from(
-        _PROV_FMT, view, len(view) - PACK_PROV_SIZE
+    """Stamp a provenance section onto a sealed pack (re-frames it)."""
+    frame = parse_frame(blob)
+    frame.with_provenance(
+        PackProvenance(flow_id=flow_id, app_id=app_id, rank=rank, t_seal=t_seal)
     )
-    if magic != _PROV_MAGIC:
-        return None
-    return PackProvenance(flow_id=flow_id, app_id=app_id, rank=rank, t_seal=t_seal)
+    return frame.to_bytes()
 
 
 def strip_provenance(blob):
-    """The pack without its provenance trailer (no-op when absent)."""
+    """The pack without its provenance section (no-op when absent)."""
     if peek_provenance(blob) is None:
         return blob
-    return blob[: len(blob) - PACK_PROV_SIZE]
+    frame = parse_frame(blob, verify=False)
+    frame.drop_section(SEC_PROVENANCE)
+    return frame.to_bytes()
 
 
 def pack_content_size(blob: bytes | memoryview) -> int:
-    """Size of a pack's header + records, excluding every trailer.
+    """Modelled content bytes of a pack: logical header + fixed records.
 
-    This is the quantity all modelling and byte accounting use, so neither
-    the integrity envelope nor the provenance stamp ever shifts simulated
-    volumes.
+    This is the quantity all modelling and byte accounting use, so
+    framing, checksums, codec output sizes and provenance stamps never
+    shift simulated volumes.
     """
-    size = len(blob) - PACK_TRAILER_SIZE
-    if peek_provenance(blob) is not None:
-        size -= PACK_PROV_SIZE
-    return size
+    return frame_content_size(blob)
 
 
 def verify_pack(blob: bytes | memoryview) -> PackHeader:
-    """Check a pack's structure and CRC without decoding the events.
+    """Check a pack's frame structure and CRC without decoding events.
 
-    Returns the parsed header; raises :class:`PackFormatError` if the pack
-    is truncated or its checksum does not match (corruption in flight).
-    A provenance trailer, when present, rides outside the checksum and is
-    skipped transparently.
+    Returns the parsed header; raises a :class:`PackFormatError` subclass
+    if the frame is truncated, structurally invalid, carries a bad
+    checksum, or names a codec chain this build cannot decode.
     """
-    try:
-        view = memoryview(blob)
-    except TypeError:
-        raise PackFormatError(f"pack payload is not bytes: {type(blob).__name__}")
-    if peek_provenance(view) is not None:
-        view = view[: len(view) - PACK_PROV_SIZE]
-    if len(view) < PACK_HEADER_SIZE + PACK_TRAILER_SIZE:
-        raise PackFormatError(f"pack of {len(view)} bytes shorter than header+trailer")
-    magic, version, app_id, rank, count = struct.unpack_from(_HEADER_FMT, view, 0)
-    if magic != _MAGIC:
-        raise PackFormatError(f"bad pack magic {magic:#010x}")
-    if version != _VERSION:
-        raise PackFormatError(f"unsupported pack version {version}")
-    (stored,) = struct.unpack_from(_TRAILER_FMT, view, len(view) - PACK_TRAILER_SIZE)
-    actual = zlib.crc32(view[: len(view) - PACK_TRAILER_SIZE])
-    if stored != actual:
-        raise PackFormatError(
-            f"pack checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
-        )
-    return PackHeader(app_id=app_id, rank=rank, count=count)
+    frame = parse_frame(blob)
+    decode_chain(frame.codec)  # raises UnknownCodecError on a foreign descriptor
+    return PackHeader(app_id=frame.app_id, rank=frame.rank, count=frame.count)
 
 
 def decode_pack(blob: bytes | memoryview) -> tuple[PackHeader, np.ndarray]:
     """Decode one pack into its header and event array.
 
-    Raises :class:`PackFormatError` on bad magic/version/size/checksum.
+    Verifies the CRC, then inverts the codec chain named by the frame's
+    descriptor (identity when absent).  Raises a :class:`PackFormatError`
+    subclass on bad magic/version/structure/checksum/codec.
     """
-    view = memoryview(blob)
-    if peek_provenance(view) is not None:
-        view = view[: len(view) - PACK_PROV_SIZE]
-    header = verify_pack(view)
-    expected = PACK_HEADER_SIZE + header.count * EVENT_RECORD_SIZE + PACK_TRAILER_SIZE
-    if len(view) != expected:
-        raise PackFormatError(
-            f"pack of {len(view)} bytes, header implies {expected}"
-        )
-    events = decode_events(view[PACK_HEADER_SIZE : len(view) - PACK_TRAILER_SIZE],
-                           header.count)
-    return header, events
+    frame = parse_frame(blob)
+    records = decode_chain(frame.codec).decode(frame.payload, frame.count)
+    header = PackHeader(app_id=frame.app_id, rank=frame.rank, count=frame.count)
+    return header, decode_events(records, frame.count)

@@ -1,0 +1,162 @@
+"""packdump: pretty-print event-pack blobs (``python -m repro.packdump``).
+
+A small forensic CLI for the wire format: given one or more files holding
+a raw pack blob each, it prints the frame header, the typed section
+table, the codec-descriptor chain, the CRC verdict and any provenance or
+sampling sections — without ever raising on damaged input (diagnostics
+must work on exactly the packs the analyzer rejects).
+
+Both wire generations are understood:
+
+* **v2 frames** (magic ``EVF2``) go through the canonical parser,
+  :func:`repro.codec.frame.parse_frame`, in non-verifying mode.
+* **v1 legacy packs** (magic ``EVNT``: 16-byte header, raw records, CRC
+  trailer, optional 26-byte provenance trailer) are decoded by a
+  self-contained reader kept entirely inside this module, so the rest of
+  the codebase carries no trace of the retired format.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+import zlib
+
+from repro.codec.frame import (
+    FRAME_MAGIC,
+    SEC_CODEC,
+    SEC_PROVENANCE,
+    SEC_SAMPLING,
+    parse_frame,
+    section_name,
+)
+from repro.codec.stages import decode_chain
+from repro.errors import PackFormatError
+
+# -- the retired v1 format, self-contained ------------------------------------------
+
+_V1_MAGIC = 0x45564E54  # "EVNT"
+_V1_HEADER_FMT = "<IHHII"
+_V1_HEADER_SIZE = struct.calcsize(_V1_HEADER_FMT)  # 16
+_V1_RECORD_SIZE = 40
+_V1_CRC_SIZE = 4
+_V1_PROV_MAGIC = 0x50524F56  # "PROV"
+_V1_PROV_FMT = "<QHIdI"
+_V1_PROV_SIZE = struct.calcsize(_V1_PROV_FMT)  # 26
+
+
+def _dump_v1(blob: bytes, out: list[str]) -> None:
+    out.append("format: v1 legacy pack (magic EVNT)")
+    if len(blob) < _V1_HEADER_SIZE:
+        out.append(f"  TRUNCATED: {len(blob)} bytes, header needs {_V1_HEADER_SIZE}")
+        return
+    magic, version, app_id, rank, count = struct.unpack_from(_V1_HEADER_FMT, blob, 0)
+    out.append(f"  version {version}  app_id {app_id}  rank {rank}  count {count}")
+    body_end = _V1_HEADER_SIZE + count * _V1_RECORD_SIZE
+    if len(blob) < body_end + _V1_CRC_SIZE:
+        out.append(
+            f"  TRUNCATED: {len(blob)} bytes, {count} records + CRC need "
+            f"{body_end + _V1_CRC_SIZE}"
+        )
+        return
+    out.append(f"  records: {count} x {_V1_RECORD_SIZE} B at offset {_V1_HEADER_SIZE}")
+    stored = struct.unpack_from("<I", blob, body_end)[0]
+    computed = zlib.crc32(blob[:body_end])
+    verdict = "OK" if stored == computed else f"MISMATCH (computed {computed:#010x})"
+    out.append(f"  crc32: {stored:#010x} {verdict}")
+    rest = blob[body_end + _V1_CRC_SIZE :]
+    if len(rest) == _V1_PROV_SIZE:
+        flow_id, papp, prank, t_seal, pmagic = struct.unpack(_V1_PROV_FMT, rest)
+        if pmagic == _V1_PROV_MAGIC:
+            out.append(
+                f"  provenance trailer: flow {flow_id:#x} app {papp} "
+                f"rank {prank} sealed t={t_seal:.9g}"
+            )
+            return
+    if rest:
+        out.append(f"  {len(rest)} unexplained trailing bytes")
+
+
+# -- v2 frames, via the canonical parser --------------------------------------------
+
+
+def _dump_v2(blob: bytes, out: list[str]) -> None:
+    out.append("format: v2 frame (magic EVF2)")
+    try:
+        frame = parse_frame(blob, verify=False)
+    except PackFormatError as exc:
+        out.append(f"  MALFORMED: {type(exc).__name__}: {exc}")
+        return
+    out.append(
+        f"  app_id {frame.app_id}  rank {frame.rank}  count {frame.count}"
+        f"  flags {frame.flags:#06x}"
+    )
+    out.append("  sections:")
+    for (stype, body), offset in zip(frame.sections, frame.offsets):
+        out.append(
+            f"    {section_name(stype):<12} {len(body):>8} B  at offset {offset}"
+        )
+    if frame.stored_crc is None:
+        out.append("  crc32: MISSING")
+    else:
+        verdict = "OK" if frame.crc_ok else "MISMATCH"
+        out.append(f"  crc32: {frame.stored_crc:#010x} {verdict}")
+    if frame.section(SEC_CODEC) is not None:
+        try:
+            spec = frame.codec
+        except PackFormatError:
+            out.append("  codec chain: UNDECODABLE descriptor bytes")
+        else:
+            out.append(f"  codec chain: {spec or 'identity'}")
+            try:
+                decode_chain(spec)
+            except PackFormatError as exc:
+                out.append(f"    (not decodable by this build: {exc})")
+    if frame.section(SEC_SAMPLING) is not None:
+        out.append(f"  events sampled out upstream: {frame.events_dropped}")
+    if frame.section(SEC_PROVENANCE) is not None:
+        prov = frame.provenance
+        out.append(
+            f"  provenance: flow {prov.flow_id:#x} app {prov.app_id} "
+            f"rank {prov.rank} sealed t={prov.t_seal:.9g}"
+        )
+
+
+def dump(blob: bytes) -> str:
+    """Render one pack blob as human-readable text (never raises)."""
+    out: list[str] = [f"{len(blob)} bytes"]
+    if len(blob) >= 4:
+        magic = struct.unpack_from("<I", blob, 0)[0]
+        if magic == FRAME_MAGIC:
+            _dump_v2(blob, out)
+        elif magic == _V1_MAGIC:
+            _dump_v1(blob, out)
+        else:
+            out.append(f"format: unknown (leading magic {magic:#010x})")
+    else:
+        out.append("format: unknown (too short for a magic number)")
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro.packdump <blob.bin> [<blob.bin> ...]")
+        print(__doc__.split("\n\n")[1])
+        return 0 if argv else 2
+    status = 0
+    for path in argv:
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError as exc:
+            print(f"{path}: cannot read: {exc}")
+            status = 1
+            continue
+        print(f"== {path}")
+        print(dump(blob))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

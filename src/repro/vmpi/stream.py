@@ -44,7 +44,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable
 
-from repro.errors import StreamClosedError, VMPIError
+from repro.codec.frame import frame_content_size, peek_provenance
+from repro.errors import PackFormatError, StreamClosedError, VMPIError
 from repro.mpi.status import Status
 from repro.mpi.world import ProgramAPI
 from repro.simt.primitives import SimEvent
@@ -144,6 +145,14 @@ class VMPIStream:
         self.blocks_read = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        # Physical frame bytes (wire) next to the modelled content bytes
+        # above; equal shapes of traffic diverge once a reduction chain
+        # shrinks payloads.  Only bytes-like payloads count (synthetic
+        # stream programs write payload=None).
+        self.bytes_wire_written = 0
+        self.bytes_wire_read = 0
+        self._ratio_sum = 0.0  # per-pack wire/content compression ratios
+        self._ratio_packs = 0
         # Lightweight always-on introspection (see stats()).
         self.eagain_returns = 0
         self.write_stall_s = 0.0
@@ -179,7 +188,6 @@ class VMPIStream:
         self._tamper: Callable[["VMPIStream", int, Any], tuple[str | None, Any]] | None = None
         # provenance state (None unless the world carries a FlowRegistry)
         self._flows = None
-        self._peek: Callable[[Any], Any] | None = None
         self._last_retry_delay = 0.0
         # reader state: (status, arrival time) pairs
         self._ready: deque[tuple[Status, float]] | None = None
@@ -211,12 +219,6 @@ class VMPIStream:
         self._tel = mpi.ctx.telemetry
         self._pid = rank_pid(mpi.ctx.global_rank)
         self._flows = mpi.ctx.world.flows
-        if self._flows is not None:
-            # Imported lazily: the packer module imports the stream's
-            # sibling interceptor package, so a top-level import would cycle.
-            from repro.instrument.packer import peek_provenance
-
-            self._peek = peek_provenance
         kernel = mpi.ctx.kernel
         if mode == "w":
             self._slots = Resource(kernel, capacity=self.na, name="vmpi.wbuf")
@@ -259,12 +261,12 @@ class VMPIStream:
         mpi = self._mpi
         kernel = mpi.ctx.kernel
         tel = self._tel
-        # Provenance: recover the flow id from the pack's own trailer and
-        # stamp the enqueue hop.  Peeking precedes tampering so injected
-        # drops are attributed to their flow.
+        # Provenance: recover the flow id from the pack's own provenance
+        # section and stamp the enqueue hop.  Peeking precedes tampering so
+        # injected drops are attributed to their flow.
         flow_id = None
         if self._flows is not None:
-            prov = self._peek(payload)
+            prov = peek_provenance(payload)
             if prov is not None:
                 flow_id = prov.flow_id
                 self._flows.on_enqueue(flow_id, kernel.now)
@@ -337,6 +339,16 @@ class VMPIStream:
         req.event.add_callback(lambda _ev, rec=rec: self._send_done(rec))
         self.blocks_written += 1
         self.bytes_written += nbytes
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            wire = len(payload)
+            self.bytes_wire_written += wire
+            try:
+                content = frame_content_size(payload)
+            except PackFormatError:
+                content = 0
+            if content > 0:
+                self._ratio_sum += wire / content
+                self._ratio_packs += 1
         if tel.enabled:
             tel.counter("stream.blocks_written").inc()
             tel.counter("stream.bytes_written").inc(nbytes)
@@ -526,7 +538,7 @@ class VMPIStream:
         now = self._mpi.ctx.kernel.now
         self._ready.append((status, now))
         if self._flows is not None:
-            prov = self._peek(status.payload)
+            prov = peek_provenance(status.payload)
             if prov is not None:
                 self._flows.on_arrive(prov.flow_id, now)
         if len(self._ready) > self.read_buffers_hwm:
@@ -567,7 +579,7 @@ class VMPIStream:
                     if copy_time > 0:
                         yield kernel.timeout(copy_time)
                     if self._flows is not None:
-                        prov = self._peek(result[1])
+                        prov = peek_provenance(result[1])
                         if prov is not None:
                             self._flows.on_read(
                                 prov.flow_id, kernel.now, mpi.ctx.global_rank
@@ -623,6 +635,16 @@ class VMPIStream:
             return None
         self.blocks_read += 1
         self.bytes_read += status.nbytes
+        if isinstance(status.payload, (bytes, bytearray, memoryview)):
+            wire = len(status.payload)
+            self.bytes_wire_read += wire
+            try:
+                content = frame_content_size(status.payload)
+            except PackFormatError:
+                content = 0
+            if content > 0:
+                self._ratio_sum += wire / content
+                self._ratio_packs += 1
         self.read_dwell_s += dwell
         return (status.nbytes, status.payload)
 
@@ -674,7 +696,7 @@ class VMPIStream:
                     self.bytes_discarded_at_close += status.nbytes
                     self.dropped_dwell_s += dwell
                     if self._flows is not None:
-                        prov = self._peek(status.payload)
+                        prov = peek_provenance(status.payload)
                         if prov is not None:
                             self._flows.on_drop(prov.flow_id, "stranded", kernel.now)
             yield kernel.timeout(0.0)
@@ -683,6 +705,20 @@ class VMPIStream:
 
     def stats(self) -> dict[str, Any]:
         """Lightweight endpoint introspection, available with telemetry off.
+
+        Byte-counter naming contract: every ``*_bytes`` / ``bytes_*``
+        counter except the ``bytes_wire_*`` pair — ``bytes_written``,
+        ``bytes_read``, ``bytes_dropped``, ``bytes_lost_to_crash``,
+        ``bytes_discarded_at_close`` — measures **modelled content bytes**
+        (the ``nbytes`` argument of :meth:`write`: logical header + event
+        records, scaled by the cost model), which is the quantity all
+        simulated timing uses.  ``bytes_wire_written`` / ``bytes_wire_read``
+        measure the **physical frame bytes** of bytes-like payloads
+        (framing, CRC, provenance, codec output; ``payload=None`` writers
+        contribute zero), and ``pack_ratio`` is the mean per-pack
+        wire/content compression ratio of the frames that passed through —
+        above 1.0 for unreduced packs (framing overhead), well below 1.0
+        once a reduction chain is active.
 
         ``write_buffers_in_flight`` counts output buffers not yet matched by
         a reader (the paper's adaptation window in use);
@@ -709,6 +745,11 @@ class VMPIStream:
             "bytes_written": self.bytes_written,
             "blocks_read": self.blocks_read,
             "bytes_read": self.bytes_read,
+            "bytes_wire_written": self.bytes_wire_written,
+            "bytes_wire_read": self.bytes_wire_read,
+            "pack_ratio": (
+                self._ratio_sum / self._ratio_packs if self._ratio_packs else 0.0
+            ),
             "eagain_returns": self.eagain_returns,
             "write_stall_s": self.write_stall_s,
             "read_wait_s": self.read_wait_s,

@@ -5,6 +5,11 @@ import struct
 import numpy as np
 import pytest
 
+from repro.codec.frame import (
+    CRC_BODY_SIZE,
+    FRAME_HEADER_SIZE,
+    SECTION_HEADER_SIZE,
+)
 from repro.errors import ConfigError, InstrumentationError, PackFormatError
 from repro.instrument import (
     CALL_IDS,
@@ -13,13 +18,20 @@ from repro.instrument import (
     EventPackBuilder,
     InstrumentationCost,
     PACK_HEADER_SIZE,
-    PACK_TRAILER_SIZE,
     call_id,
     decode_events,
     decode_pack,
     encode_event,
 )
 from repro.mpi.pmpi import CallRecord
+
+def _frame_size(nrecords: int) -> int:
+    """Physical v2 frame bytes around an n-record identity payload."""
+    return (
+        FRAME_HEADER_SIZE
+        + SECTION_HEADER_SIZE + nrecords * EVENT_RECORD_SIZE
+        + SECTION_HEADER_SIZE + CRC_BODY_SIZE
+    )
 
 
 def _record(name="MPI_Send", peer=3, tag=7, nbytes=1024, t0=1.0, t1=1.5, size=16):
@@ -89,7 +101,7 @@ class TestPackBuilder:
         header, events = decode_pack(blob)
         assert header.app_id == 2 and header.rank == 17 and header.count == 5
         assert len(events) == 5
-        assert len(blob) == PACK_HEADER_SIZE + 5 * EVENT_RECORD_SIZE + PACK_TRAILER_SIZE
+        assert len(blob) == _frame_size(5)
 
     def test_full_flag_at_capacity(self):
         capacity = PACK_HEADER_SIZE + 3 * EVENT_RECORD_SIZE
