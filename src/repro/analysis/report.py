@@ -179,6 +179,9 @@ class ProfileReport:
     #: Event-reduction summary (chain spec, wire vs content bytes, codec
     #: CPU) when a reduction chain was active; None for identity runs.
     reduction: Optional[dict] = None
+    #: Time-resolved POP efficiency summary (``PopMetricsEngine.summary()``)
+    #: when online efficiency metrics were enabled; None otherwise.
+    efficiency: Optional[dict] = None
 
     def chapter(self, app: str) -> ApplicationReport:
         for ch in self.chapters:
@@ -202,6 +205,8 @@ class ProfileReport:
             parts.append(self._render_flows())
         if self.reduction:
             parts.append(self._render_reduction())
+        if self.efficiency:
+            parts.append(self._render_efficiency())
         return "\n".join(parts)
 
     def _render_telemetry(self) -> str:
@@ -387,6 +392,66 @@ class ProfileReport:
             out.append(
                 "- descriptors seen at analysis: "
                 + ", ".join(f"`{k}` x{n}" for k, n in sorted(codecs.items()))
+            )
+        out.append("")
+        return "\n".join(out)
+
+    def _render_efficiency(self) -> str:
+        """Per-phase POP efficiency metrics from the online engine."""
+        from repro.util.tables import Table
+
+        e = self.efficiency
+        out = ["## Efficiency timeline", ""]
+        out.append(
+            f"- windows closed: {e.get('windows', 0)} at "
+            f"{e.get('window_s', 0):.3g}s resolution over {e.get('nranks', 0)} "
+            f"rank tracks"
+        )
+        phases = e.get("phases", [])
+        out.append(
+            f"- phases detected: {len(phases)} "
+            f"(change-point signal: {e.get('signal', '?')})"
+        )
+        eor = e.get("end_of_run", {})
+        if eor:
+            out.append(
+                "- end of run: PE {pe:.3f} = LB {lb:.3f} x CommE {ce:.3f}, "
+                "SerE {se:.3f}, instrumentation share {sh:.4f}".format(
+                    pe=eor.get("parallel_efficiency", 0.0),
+                    lb=eor.get("load_balance", 0.0),
+                    ce=eor.get("communication_efficiency", 0.0),
+                    se=eor.get("serialization_efficiency", 0.0),
+                    sh=eor.get("instrumentation_share", 0.0),
+                )
+            )
+        if phases:
+            table = Table(
+                ["phase", "t0_s", "t1_s", "windows", "PE", "LB", "CommE",
+                 "SerE", "instr_share"],
+                title="Per-phase efficiency",
+            )
+            for phase in phases:
+                m = phase.get("metrics", {})
+                table.add_row(
+                    phase.get("index", 0),
+                    f"{phase.get('t0', 0.0):.6f}",
+                    f"{phase.get('t1', 0.0):.6f}",
+                    phase.get("windows", 0),
+                    f"{m.get('parallel_efficiency', 0.0):.4f}",
+                    f"{m.get('load_balance', 0.0):.4f}",
+                    f"{m.get('communication_efficiency', 0.0):.4f}",
+                    f"{m.get('serialization_efficiency', 0.0):.4f}",
+                    f"{m.get('instrumentation_share', 0.0):.5f}",
+                )
+            out.append("")
+            out.append("```")
+            out.append(table.render())
+            out.append("```")
+        stream = e.get("stream_last") or {}
+        if stream:
+            out.append(
+                "- stream health (last window): "
+                + ", ".join(f"{k}={v:.3g}" for k, v in sorted(stream.items()))
             )
         out.append("")
         return "\n".join(out)

@@ -21,6 +21,7 @@ from repro.bench.compare import (
 from repro.bench.chaos import ChaosPoint, ChaosResult, chaos_resilience, load_plan
 from repro.bench.codec import CodecPoint, CodecResult, codec_reduction
 from repro.bench.flow import FlowPoint, FlowResult, flow_attribution
+from repro.bench.metrics import MetricsPoint, MetricsResult, metrics_timeline
 from repro.bench.harness import OverheadPoint, measure_overhead, sweep
 from repro.bench.figures import (
     fig14_stream_throughput,
@@ -55,6 +56,9 @@ __all__ = [
     "FlowPoint",
     "FlowResult",
     "flow_attribution",
+    "MetricsPoint",
+    "MetricsResult",
+    "metrics_timeline",
     "fig14_stream_throughput",
     "fig15_overhead",
     "fig16_tool_comparison",

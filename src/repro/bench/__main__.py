@@ -13,14 +13,22 @@ Usage::
     python -m repro.bench chaos [--chaos PLAN]
     python -m repro.bench codec
     python -m repro.bench flow
+    python -m repro.bench metrics
     python -m repro.bench all
     python -m repro.bench compare BASELINE.json CANDIDATE.json [--tolerance T]
+
+Every experiment sub-command shares one argparse parent, so the common
+flags (``--scale/--seed/--csv/--json/--telemetry/--outdir/--baseline/
+--tolerance``) are defined exactly once; experiment-specific flags
+(``chaos --chaos PLAN``) live on their own sub-command.
 
 With ``--json`` each experiment additionally writes ``BENCH_<name>.json``
 (table rows + metadata); adding ``--telemetry`` runs the measurement
 pipeline itself instrumented, embeds the self-telemetry summary in the
 JSON, and dumps ``BENCH_<name>.trace.json`` — a Chrome trace-event file
-loadable in Perfetto or ``chrome://tracing``.
+loadable in Perfetto or ``chrome://tracing``.  ``metrics --json`` also
+streams ``BENCH_metrics.ndjson``, the incremental NDJSON window/phase
+export.
 
 ``compare`` diffs two such artefacts with direction-aware per-metric
 tolerances and exits non-zero on regression — the CI gate.  Experiment
@@ -46,6 +54,7 @@ from repro.bench import (
     fig17_topology,
     fig18_density,
     fs_comparison_table,
+    metrics_timeline,
     trace_size_table,
 )
 from repro.bench.compare import compare_bench, compare_files, load_bench_json
@@ -64,7 +73,95 @@ _DRIVERS = {
     "chaos": chaos_resilience,
     "codec": codec_reduction,
     "flow": flow_attribution,
+    "metrics": metrics_timeline,
 }
+
+
+def _common_parser() -> argparse.ArgumentParser:
+    """The shared flag set every experiment sub-command inherits."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="parameter grid: reduced (default) or the paper's own",
+    )
+    common.add_argument("--seed", type=int, default=0, help="experiment seed")
+    common.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of an aligned table"
+    )
+    common.add_argument(
+        "--json",
+        action="store_true",
+        help="also write BENCH_<name>.json with rows and metadata",
+    )
+    common.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="instrument the measurement pipeline itself; dumps a Chrome "
+        "trace next to the JSON (implies --json)",
+    )
+    common.add_argument(
+        "--outdir",
+        default=".",
+        help="directory for --json/--telemetry artefacts (default: cwd)",
+    )
+    common.add_argument(
+        "--baseline",
+        metavar="BENCH_ref.json",
+        help="after running, diff the fresh payload against this artefact "
+        "and exit non-zero on regression (single experiment only)",
+    )
+    common.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed relative drift for --baseline (default 0.05)",
+    )
+    return common
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True, metavar="experiment")
+    common = _common_parser()
+    for name in sorted(_DRIVERS) + ["all"]:
+        experiment = sub.add_parser(
+            name,
+            parents=[common],
+            help=f"run the {name} sweep" if name != "all" else "run every experiment",
+        )
+        if name == "chaos":
+            experiment.add_argument(
+                "--chaos",
+                metavar="PLAN",
+                help="fault plan: a canned name (crash1, degrade, corrupt, "
+                "drop, stall, mixed) or a JSON plan file; default: sweep "
+                "every canned plan",
+            )
+    compare = sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json artefacts; exit 1 on regression",
+    )
+    compare.add_argument("baseline", help="reference BENCH_*.json")
+    compare.add_argument("candidate", help="freshly produced BENCH_*.json")
+    compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed relative drift in the bad direction (default 0.05)",
+    )
+    compare.add_argument(
+        "--metric-tolerance",
+        action="append",
+        default=[],
+        metavar="COLUMN=FLOAT",
+        help="per-column tolerance override; repeatable",
+    )
+    return parser
 
 
 def _parse_metric_tolerances(pairs: list[str]) -> dict[str, float]:
@@ -84,27 +181,7 @@ def _parse_metric_tolerances(pairs: list[str]) -> dict[str, float]:
     return out
 
 
-def _compare_main(argv: list[str]) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench compare",
-        description="Diff two BENCH_*.json artefacts; exit 1 on regression.",
-    )
-    parser.add_argument("baseline", help="reference BENCH_*.json")
-    parser.add_argument("candidate", help="freshly produced BENCH_*.json")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.05,
-        help="allowed relative drift in the bad direction (default 0.05)",
-    )
-    parser.add_argument(
-        "--metric-tolerance",
-        action="append",
-        default=[],
-        metavar="COLUMN=FLOAT",
-        help="per-column tolerance override; repeatable",
-    )
-    args = parser.parse_args(argv)
+def _compare_main(args: argparse.Namespace) -> int:
     comparison = compare_files(
         args.baseline,
         args.candidate,
@@ -117,67 +194,14 @@ def _compare_main(argv: list[str]) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "compare":
-        return _compare_main(argv[1:])
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench",
-        description="Regenerate the paper's evaluation figures and tables.",
-    )
-    parser.add_argument(
-        "experiment", choices=sorted(_DRIVERS) + ["all"], help="which artefact to run"
-    )
-    parser.add_argument(
-        "--scale",
-        choices=("small", "paper"),
-        default="small",
-        help="parameter grid: reduced (default) or the paper's own",
-    )
-    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
-    parser.add_argument(
-        "--chaos",
-        metavar="PLAN",
-        help="fault plan for the 'chaos' experiment: a canned name "
-        "(crash1, degrade, corrupt, drop, stall, mixed) or a JSON plan "
-        "file; default: sweep every canned plan",
-    )
-    parser.add_argument(
-        "--csv", action="store_true", help="emit CSV instead of an aligned table"
-    )
-    parser.add_argument(
-        "--json",
-        action="store_true",
-        help="also write BENCH_<name>.json with rows and metadata",
-    )
-    parser.add_argument(
-        "--telemetry",
-        action="store_true",
-        help="instrument the measurement pipeline itself; dumps a Chrome "
-        "trace next to the JSON (implies --json)",
-    )
-    parser.add_argument(
-        "--outdir",
-        default=".",
-        help="directory for --json/--telemetry artefacts (default: cwd)",
-    )
-    parser.add_argument(
-        "--baseline",
-        metavar="BENCH_ref.json",
-        help="after running, diff the fresh payload against this artefact "
-        "and exit non-zero on regression (single experiment only)",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.05,
-        help="allowed relative drift for --baseline (default 0.05)",
-    )
+    parser = build_parser()
     args = parser.parse_args(argv)
+    if args.experiment == "compare":
+        return _compare_main(args)
     if args.telemetry:
         args.json = True
     if args.baseline and args.experiment == "all":
         parser.error("--baseline gates a single experiment, not 'all'")
-    if args.chaos and args.experiment != "chaos":
-        parser.error("--chaos only applies to the 'chaos' experiment")
 
     outdir = Path(args.outdir)
     if args.json:
@@ -188,8 +212,10 @@ def main(argv: list[str] | None = None) -> int:
         driver = _DRIVERS[name]
         telemetry = Telemetry() if args.telemetry else None
         kwargs = {}
-        if name == "chaos" and args.chaos:
+        if name == "chaos" and getattr(args, "chaos", None):
             kwargs["plan"] = args.chaos
+        if name == "metrics" and args.json:
+            kwargs["ndjson_dir"] = str(outdir)
         t0 = time.perf_counter()
         result = driver(scale=args.scale, seed=args.seed, telemetry=telemetry, **kwargs)
         elapsed = time.perf_counter() - t0

@@ -30,6 +30,8 @@ from repro.mpi.world import World
 from repro.network.machine import MachineSpec, TERA100
 from repro.telemetry import FlowRegistry, NULL_TELEMETRY, Telemetry
 from repro.telemetry.monitor import HealthMonitor, MonitorConfig
+from repro.telemetry.popmetrics import PopConfig, PopMetricsEngine
+from repro.telemetry.stream_export import MetricsStreamWriter
 from repro.vmpi.virtualization import VirtualizedLauncher
 
 #: reserved partition name of the analysis engine
@@ -82,6 +84,9 @@ class SessionResult:
     #: Event-reduction summary (chain spec, wire/content bytes, codec CPU)
     #: when a reduction chain was active; None for identity runs.
     reduction: dict[str, Any] | None = None
+    #: ``PopMetricsEngine.summary()`` when time-resolved efficiency metrics
+    #: were enabled: per-phase POP metrics, window count, end-of-run totals.
+    efficiency: dict[str, Any] | None = None
 
     def app(self, name: str) -> AppRun:
         try:
@@ -118,6 +123,8 @@ class CouplingSession:
         self._monitor: HealthMonitor | None = None
         self._fault_plan: FaultPlan | None = None
         self._flows: FlowRegistry | None = None
+        self._pop: PopMetricsEngine | None = None
+        self._pop_writer: MetricsStreamWriter | None = None
 
     # -- configuration ------------------------------------------------------------
 
@@ -199,6 +206,43 @@ class CouplingSession:
             raise ConfigError("health monitor already enabled for this session")
         self._monitor = HealthMonitor(self.telemetry, config=config, router=router)
         return self._monitor
+
+    def enable_pop_metrics(
+        self,
+        config: PopConfig | None = None,
+        stream: str | None = None,
+    ) -> PopMetricsEngine:
+        """Compute time-resolved POP efficiency metrics over the run.
+
+        The engine rides the kernel's periodic-callback hook: every
+        ``config.window`` virtual seconds it closes a metric window from
+        the interceptors' per-rank time decomposition, detects phase
+        boundaries online via a change-point test on the windowed series,
+        mirrors the metrics into ``pop.*`` gauges (Chrome-trace counter
+        tracks) and — with ``stream`` set — appends schema-versioned NDJSON
+        records to that path *as windows close*, so a frontend can tail
+        the file mid-run.  Requires live telemetry; observation-only, so
+        results are bit-identical with metrics on or off.
+
+        After :meth:`run`, :attr:`SessionResult.efficiency` and the
+        report's "Efficiency timeline" section carry the summary.
+        """
+        if not self.telemetry.enabled:
+            raise ConfigError(
+                "pop metrics need telemetry; construct the session with "
+                "telemetry=Telemetry()"
+            )
+        if self._pop is not None:
+            raise ConfigError("pop metrics already enabled for this session")
+        self._pop = PopMetricsEngine(self.telemetry, config=config)
+        if stream is not None:
+            self._pop_writer = MetricsStreamWriter(stream)
+            self._pop.add_sink(self._pop_writer)
+        return self._pop
+
+    @property
+    def pop_metrics(self) -> PopMetricsEngine | None:
+        return self._pop
 
     def enable_provenance(self, sample_rate: float = 1.0) -> FlowRegistry:
         """Trace causal pack flows through the upcoming run.
@@ -293,7 +337,15 @@ class CouplingSession:
             injector.attach(world, ANALYZER_PARTITION)
         if self._monitor is not None:
             self._monitor.attach(world.kernel)
+        if self._pop is not None:
+            self._pop.bind_sources(instr_registry)
+            self._pop.attach(world.kernel)
         world.run()
+        if self._pop is not None:
+            self._pop.finalize(world.kernel.now)
+            self._pop.detach()
+            if self._pop_writer is not None:
+                self._pop_writer.close()
 
         apps: dict[str, AppRun] = {}
         for name, kernel in self._apps:
@@ -340,6 +392,11 @@ class CouplingSession:
             }
             if report is not None:
                 report.reduction = reduction
+        efficiency = None
+        if self._pop is not None:
+            efficiency = self._pop.summary()
+            if report is not None:
+                report.efficiency = efficiency
         attempted = sum(run.packs + run.packs_dropped for run in apps.values())
         analyzed = stats["packs"] if stats is not None else 0
         loss = 1.0 - analyzed / attempted if attempted > 0 else 0.0
@@ -358,6 +415,7 @@ class CouplingSession:
             data_loss_fraction=max(0.0, loss),
             flows=flows,
             reduction=reduction,
+            efficiency=efficiency,
         )
 
     def run_reference(self) -> SessionResult:

@@ -77,6 +77,14 @@ class StreamingInstrumentation(Interceptor):
         self.packs_flushed = 0
         self.packs_dropped = 0
         self.codec_cpu_s = 0.0  # virtual CPU spent encoding (chain only)
+        # Per-rank time decomposition for the online POP-metrics engine:
+        # virtual seconds inside MPI calls proper (PMPI record durations),
+        # virtual seconds this layer added on top (capture CPU, codec,
+        # flushes, stream backpressure), and the rank's active interval.
+        self.mpi_time_s = 0.0
+        self.overhead_s = 0.0
+        self.t_active_start: float | None = None
+        self.t_active_end: float | None = None
         self._open = False
         # CPU accounting is batched: per-event costs accrue as a debt that
         # is charged to the timeline in quanta, keeping the discrete-event
@@ -102,17 +110,21 @@ class StreamingInstrumentation(Interceptor):
     def _setup_and_record(self, record: CallRecord):
         """Generator: VMPI mapping + stream opening inside MPI_Init."""
         mpi = self.mpi
+        self.t_active_start = record.t_start
         analyzer = mpi.partition_by_name(self.analyzer_partition)
         if analyzer is None:
             raise InstrumentationError(
                 f"no analyzer partition named {self.analyzer_partition!r}"
             )
+        kernel = mpi.ctx.kernel
+        t_setup = kernel.now
         yield from map_partitions(mpi, self.vmap, analyzer, policy=self.policy)
         if not self.vmap.entries:
             raise InstrumentationError(
                 f"rank {mpi.ctx.global_rank}: empty analyzer mapping"
             )
         yield from self.stream.open_map(mpi, self.vmap, "w")
+        self.overhead_s += kernel.now - t_setup
         self._open = True
         work = self._capture(record)
         if isinstance(work, (int, float)):
@@ -127,21 +139,34 @@ class StreamingInstrumentation(Interceptor):
         lets the PMPI layer skip generator dispatch entirely.
         """
         self.events_captured += 1
+        self.mpi_time_s += record.t_end - record.t_start
         self._cpu_debt += self.cost.per_event_cpu
         full = self.builder.add(record)
         if full:
             return self._charge_and_flush()
         if self._cpu_debt >= self._cpu_quantum:
             debt, self._cpu_debt = self._cpu_debt, 0.0
+            # The caller charges this as a timeout; book it as overhead here,
+            # at the single point where the debt escapes.
+            self.overhead_s += debt
             return debt
         return None
 
     def _charge_and_flush(self):
-        """Generator: settle the CPU debt, then flush the current pack."""
+        """Generator: settle the CPU debt, then flush the current pack.
+
+        Everything awaited in here — the batched capture CPU, codec
+        encode time, the flush charge, and the stream write with its
+        backpressure stall — is instrumentation-induced, so the whole
+        elapsed virtual interval lands in :attr:`overhead_s`.
+        """
+        kernel = self.mpi.ctx.kernel
+        t_enter = kernel.now
         debt, self._cpu_debt = self._cpu_debt, 0.0
         if debt > 0:
-            yield self.mpi.ctx.kernel.timeout(debt)
+            yield kernel.timeout(debt)
         yield from self._flush()
+        self.overhead_s += kernel.now - t_enter
 
     def _flush(self):
         if self.builder.count == 0:
@@ -203,11 +228,15 @@ class StreamingInstrumentation(Interceptor):
 
     def _teardown(self, record: CallRecord):
         """Generator: capture the finalize event, flush the tail, close."""
+        kernel = self.mpi.ctx.kernel
         tail = self._capture(record)
         if isinstance(tail, (int, float)):
-            yield self.mpi.ctx.kernel.timeout(float(tail))
+            yield kernel.timeout(float(tail))
         elif tail is not None:
             yield from tail
         yield from self._charge_and_flush()
+        t_close = kernel.now
         yield from self.stream.close()
+        self.overhead_s += kernel.now - t_close
+        self.t_active_end = kernel.now
         self._open = False

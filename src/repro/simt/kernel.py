@@ -99,7 +99,7 @@ class Kernel:
 
     # -- periodic callbacks ------------------------------------------------------
 
-    def call_every(self, interval: float, fn) -> PeriodicHook:
+    def call_every(self, interval: float, fn, *, first: float | None = None) -> PeriodicHook:
         """Register ``fn(now)`` to run every ``interval`` virtual seconds.
 
         Hooks are observers, not events: they never enter the schedule, so
@@ -110,11 +110,24 @@ class Kernel:
         deterministic.  A hook must not raise; exceptions propagate out of
         :meth:`run`.  ``run(until=<deadline>)`` does not fire hooks in the
         idle gap between the last event and the deadline.
+
+        ``first`` pins the first due time to an absolute virtual instant
+        (it must not be in the past), letting a subscriber align its firing
+        grid — e.g. window boundaries at exact multiples of the interval —
+        independent of when it attached; later firings step by ``interval``
+        from there.
         """
         if interval <= 0:
             raise SimulationError(f"call_every interval must be > 0, got {interval}")
         hook = PeriodicHook(float(interval), fn)
-        hook.next_due = self.now + hook.interval
+        if first is None:
+            hook.next_due = self.now + hook.interval
+        else:
+            if first < self.now:
+                raise SimulationError(
+                    f"call_every first={first} is in the past (now={self.now})"
+                )
+            hook.next_due = float(first)
         self._hooks.append(hook)
         return hook
 

@@ -44,10 +44,23 @@ from repro.telemetry.monitor import (
 from repro.telemetry.timeline import CUMULATIVE, LEVEL, Timeline, TimeSeries
 from repro.telemetry.export import (
     EXPORTERS,
+    TELEMETRY_SCHEMA,
     ChromeTraceExporter,
     JSONLExporter,
     chrome_trace_dict,
     jsonl_records,
+)
+from repro.telemetry.popmetrics import (
+    METRIC_KEYS,
+    PopConfig,
+    PopMetricsEngine,
+    metrics_from_sums,
+)
+from repro.telemetry.stream_export import (
+    METRICS_SCHEMA,
+    MetricsStreamWriter,
+    iter_metrics_stream,
+    read_metrics_stream,
 )
 from repro.telemetry.metrics import (
     NULL_COUNTER,
@@ -91,8 +104,17 @@ __all__ = [
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "EXPORTERS",
+    "TELEMETRY_SCHEMA",
     "ChromeTraceExporter",
     "JSONLExporter",
     "chrome_trace_dict",
     "jsonl_records",
+    "PopMetricsEngine",
+    "PopConfig",
+    "METRIC_KEYS",
+    "metrics_from_sums",
+    "MetricsStreamWriter",
+    "METRICS_SCHEMA",
+    "iter_metrics_stream",
+    "read_metrics_stream",
 ]

@@ -8,7 +8,10 @@ simulated rank.  Timestamps are virtual seconds scaled to microseconds, the
 unit both viewers expect.
 
 JSONL writes one self-describing JSON object per line (spans, instants,
-counters, gauges, histograms), convenient for ad-hoc ``jq``/pandas digestion.
+counters, gauges, histograms, flows), convenient for ad-hoc ``jq``/pandas
+digestion.  Every record carries a ``schema`` tag
+(:data:`TELEMETRY_SCHEMA`) so downstream consumers can detect layout
+changes; the per-kind record formats are documented in DESIGN §10.
 """
 
 from __future__ import annotations
@@ -20,6 +23,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.telemetry.core import Telemetry
 
 _US = 1e6  # trace-event timestamps are microseconds
+
+#: schema tag stamped on every JSONL telemetry record (bump on layout change)
+TELEMETRY_SCHEMA = "repro.telemetry/1"
 
 
 def chrome_trace_dict(tel: "Telemetry") -> dict[str, Any]:
@@ -150,6 +156,7 @@ def jsonl_records(tel: "Telemetry") -> list[dict[str, Any]]:
     records: list[dict[str, Any]] = []
     for span in list(tel.spans) + tel.open_spans():
         record = {
+            "schema": TELEMETRY_SCHEMA,
             "kind": "span",
             "name": span.name,
             "cat": span.cat,
@@ -162,12 +169,20 @@ def jsonl_records(tel: "Telemetry") -> list[dict[str, Any]]:
             record["unfinished"] = True
         records.append(record)
     for inst in tel.instants:
-        records.append({"kind": "instant", **inst})
+        records.append({"schema": TELEMETRY_SCHEMA, "kind": "instant", **inst})
     for counter in tel.counters.values():
-        records.append({"kind": "counter", "name": counter.name, "value": counter.value})
+        records.append(
+            {
+                "schema": TELEMETRY_SCHEMA,
+                "kind": "counter",
+                "name": counter.name,
+                "value": counter.value,
+            }
+        )
     for gauge in tel.gauges.values():
         records.append(
             {
+                "schema": TELEMETRY_SCHEMA,
                 "kind": "gauge",
                 "name": gauge.name,
                 "pid": gauge.pid,
@@ -177,11 +192,18 @@ def jsonl_records(tel: "Telemetry") -> list[dict[str, Any]]:
             }
         )
     for histogram in tel.histograms.values():
-        records.append({"kind": "histogram", "name": histogram.name, **histogram.as_dict()})
+        records.append(
+            {
+                "schema": TELEMETRY_SCHEMA,
+                "kind": "histogram",
+                "name": histogram.name,
+                **histogram.as_dict(),
+            }
+        )
     registry = getattr(tel, "flows", None)
     if registry is not None:
         for flow in registry.records():
-            records.append({"kind": "flow", **flow.as_dict()})
+            records.append({"schema": TELEMETRY_SCHEMA, "kind": "flow", **flow.as_dict()})
     return records
 
 

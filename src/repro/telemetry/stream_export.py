@@ -1,0 +1,120 @@
+"""Incremental NDJSON export of the online efficiency-metrics stream.
+
+A visual-analytics frontend (or the future analyzer service) cannot wait
+for teardown: it tails a file and renders windows as they close.  The
+:class:`MetricsStreamWriter` is a :class:`~repro.telemetry.popmetrics.
+PopMetricsEngine` sink that appends one schema-versioned JSON object per
+line — and flushes after every record — the moment each virtual-time
+window (or detected phase, or the final run summary) is sealed, so
+
+    tail -f session.ndjson | jq -c 'select(.kind == "window")'
+
+shows efficiency evolving *during* the simulation, in emission order:
+``window`` records as windows close, a ``phase`` record whenever the
+change-point detector seals a phase, one ``run_summary`` at finalize.
+
+Every record carries ``schema`` (:data:`METRICS_SCHEMA`) so readers can
+reject streams they do not understand; :func:`read_metrics_stream` is the
+matching loader/validator.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Iterator
+
+from repro.errors import ConfigError
+
+#: schema tag stamped on every metrics-stream record (bump on layout change)
+METRICS_SCHEMA = "repro.pop-metrics/1"
+
+#: record kinds a version-1 metrics stream may contain
+STREAM_KINDS = ("window", "phase", "run_summary")
+
+
+class MetricsStreamWriter:
+    """Engine sink that streams NDJSON records as they are produced.
+
+    ``target`` is a path (opened/truncated immediately, closed by
+    :meth:`close`) or an already-open text file object (caller keeps
+    ownership).  Records are flushed line by line, never buffered to
+    teardown — the whole point of the streaming export.
+    """
+
+    def __init__(self, target: str | IO[str]):
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target
+            self._owns = False
+            self.path = getattr(target, "name", None)
+        else:
+            self._fh = open(target, "w")
+            self._owns = True
+            self.path = str(target)
+        self.records_written = 0
+        self._closed = False
+
+    # -- engine sink protocol -----------------------------------------------------
+
+    def on_window(self, window: dict[str, Any]) -> None:
+        self._emit("window", window)
+
+    def on_phase(self, phase: dict[str, Any]) -> None:
+        self._emit("phase", phase)
+
+    def on_run_summary(self, summary: dict[str, Any]) -> None:
+        self._emit("run_summary", summary)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _emit(self, kind: str, payload: dict[str, Any]) -> None:
+        if self._closed:
+            raise ConfigError("metrics stream writer is closed")
+        record = {"schema": METRICS_SCHEMA, "kind": kind, **payload}
+        self._fh.write(json.dumps(record))
+        self._fh.write("\n")
+        self._fh.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns:
+            self._fh.close()
+
+
+def iter_metrics_stream(path: str) -> Iterator[dict[str, Any]]:
+    """Yield validated records from one NDJSON metrics stream.
+
+    Raises :class:`ConfigError` on a record with a missing/foreign schema
+    tag or an unknown kind — a tailing frontend should fail loudly rather
+    than render garbage.  Blank lines (a partially flushed tail) are
+    skipped.
+    """
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            schema = record.get("schema")
+            if schema != METRICS_SCHEMA:
+                raise ConfigError(
+                    f"{path}:{lineno}: schema {schema!r}, "
+                    f"expected {METRICS_SCHEMA!r}"
+                )
+            if record.get("kind") not in STREAM_KINDS:
+                raise ConfigError(
+                    f"{path}:{lineno}: unknown record kind {record.get('kind')!r}"
+                )
+            yield record
+
+
+def read_metrics_stream(path: str) -> list[dict[str, Any]]:
+    """Load a whole metrics stream (see :func:`iter_metrics_stream`)."""
+    return list(iter_metrics_stream(path))

@@ -157,6 +157,10 @@ class VMPIStream:
         self.eagain_returns = 0
         self.write_stall_s = 0.0
         self.read_wait_s = 0.0
+        # Intra-node buffer copy time charged on each side: the transfer
+        # cost the metrics engine separates from stall/wait time.
+        self.write_copy_s = 0.0
+        self.read_copy_s = 0.0
         # Receive-buffer residence: total dwell of consumed blocks, and of
         # blocks that arrived but were discarded (drop-oldest tombstones,
         # close-time strays) — dropped data keeps its latency accounting.
@@ -309,6 +313,7 @@ class VMPIStream:
         # Copy into the asynchronous output buffer.
         copy_time = nbytes / mpi.ctx.world.machine.intra_node_bandwidth
         if copy_time > 0:
+            self.write_copy_s += copy_time
             yield kernel.timeout(copy_time)
         if not self.endpoints:
             # Every reader crashed with no failover target: the block has
@@ -577,6 +582,7 @@ class VMPIStream:
                     # Charge the copy out of the reception buffer.
                     copy_time = result[0] / mpi.ctx.world.machine.intra_node_bandwidth
                     if copy_time > 0:
+                        self.read_copy_s += copy_time
                         yield kernel.timeout(copy_time)
                     if self._flows is not None:
                         prov = peek_provenance(result[1])
@@ -726,6 +732,8 @@ class VMPIStream:
         ``write_stall_s`` is the accumulated backpressure stall,
         ``read_wait_s`` the accumulated blocking-read wait and
         ``eagain_returns`` the number of empty non-blocking reads.
+        ``write_copy_s`` / ``read_copy_s`` total the intra-node buffer copy
+        time charged on each side (pure transfer, no waiting).
         ``read_dwell_s`` totals the receive-buffer residence of consumed
         blocks; ``dropped_dwell_s`` the residence of blocks that were
         received but discarded (drop-oldest tombstones and close-time
@@ -753,6 +761,8 @@ class VMPIStream:
             "eagain_returns": self.eagain_returns,
             "write_stall_s": self.write_stall_s,
             "read_wait_s": self.read_wait_s,
+            "write_copy_s": self.write_copy_s,
+            "read_copy_s": self.read_copy_s,
             "read_dwell_s": self.read_dwell_s,
             "dropped_dwell_s": self.dropped_dwell_s,
             "write_buffers_in_flight": self._slots.in_use if self._slots else 0,

@@ -182,3 +182,58 @@ class TestTimeline:
         assert Timeline(tel, resolution=1.0).render_table() == (
             "(no timeline series recorded)"
         )
+
+
+class TestWindowEdgeCases:
+    """Windowing corners the POP-metrics engine leans on."""
+
+    def test_empty_window_between_samples(self):
+        ts = TimeSeries("x", CUMULATIVE, capacity=8)
+        ts.append(0.0, 1.0)
+        ts.append(10.0, 2.0)
+        stats = ts.window_stats(3.0, 7.0)  # a gap with no samples at all
+        assert stats["n"] == 0
+        assert stats["rate"] == 0.0
+        assert stats["delta"] == 0.0
+        assert ts.window(3.0, 7.0) == []
+
+    def test_single_sample_percentiles(self):
+        ts = TimeSeries("x", LEVEL, capacity=8)
+        ts.append(1.0, 42.0)
+        stats = ts.window_stats(0.0, 2.0)
+        assert stats["n"] == 1
+        assert stats["p50"] == 42.0
+        assert stats["p95"] == 42.0
+        assert stats["min"] == stats["max"] == stats["mean"] == 42.0
+        assert stats["rate"] == 0.0  # dt == 0 must not divide by zero
+
+    def test_slope_on_constant_series_is_zero(self):
+        ts = TimeSeries("x", LEVEL, capacity=32)
+        for i in range(10):
+            ts.append(float(i), 7.5)
+        assert ts.slope(-math.inf) == 0.0
+        # Constant *time* (all samples at one instant) must not blow up
+        # either: the denominator degenerates to zero.
+        stacked = TimeSeries("y", LEVEL, capacity=8)
+        for value in (1.0, 2.0, 3.0):
+            stacked.append(5.0, value)
+        assert stacked.slope(-math.inf) == 0.0
+
+    def test_wraparound_during_open_window(self):
+        # The ring evicts the oldest samples while a window is still open:
+        # stats must reflect only retained points, in chronological order.
+        ts = TimeSeries("x", CUMULATIVE, capacity=8)
+        for i in range(20):
+            ts.append(float(i), float(i) * 10.0)
+        pts = ts.window(-math.inf)
+        assert len(pts) == 8  # bounded by capacity
+        assert pts == sorted(pts)  # chronological despite the wrap
+        assert pts[0] == (12.0, 120.0)  # oldest retained, not t=0
+        stats = ts.window_stats(-math.inf)
+        assert stats["n"] == 8
+        assert stats["first"] == 120.0
+        assert stats["last"] == 190.0
+        assert stats["rate"] == pytest.approx(10.0)
+        # Watermarks still remember evicted extremes.
+        assert ts.low_water == 0.0
+        assert ts.total_points == 20
