@@ -16,7 +16,6 @@ after execution ends".
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -34,7 +33,8 @@ from repro.analysis.waitstate import WaitState
 from repro.blackboard.multilevel import MultiLevelBlackboard
 from repro.instrument.packer import decode_pack
 from repro.mpi.datatypes import ANY_SOURCE
-from repro.telemetry import NULL_TELEMETRY, Telemetry, rank_pid
+from repro.telemetry import NULL_TELEMETRY, Telemetry, hostprof, rank_pid
+from repro.telemetry.hostprof import host_now
 from repro.vmpi.mapping import MapPolicy, ROUND_ROBIN, VMPIMap, map_partitions
 from repro.vmpi.stream import BALANCE_ROUND_ROBIN, EOF, VMPIStream
 
@@ -186,14 +186,12 @@ class AnalyzerEngine:
         for mod_name, state in level_states.items():
             def make_op(st, mod):
                 def op(_b, entries):
-                    t0 = time.perf_counter() if tel.enabled else 0.0
+                    t0 = host_now() if tel.enabled else 0.0
                     for entry in entries:
                         rank, events = entry.payload
                         st.update(rank, events)
                     if tel.enabled:
-                        tel.counter(f"analysis.cpu_s.{mod}").inc(
-                            time.perf_counter() - t0
-                        )
+                        tel.counter(f"analysis.cpu_s.{mod}").inc(host_now() - t0)
                 return op
 
             board.register_ks(
@@ -211,6 +209,8 @@ class AnalyzerEngine:
         never submitted — the analysis pipeline keeps running on whatever
         arrives intact.  Returns False on rejection.
         """
+        hp = hostprof.ACTIVE
+        t_host = hp.now() if hp.enabled else 0.0
         try:
             frame = parse_frame(pack_bytes)
             decode_chain(frame.codec)
@@ -241,6 +241,10 @@ class AnalyzerEngine:
         self.events_sampled_out += frame.events_dropped
         spec = frame.codec or "identity"
         self.codecs_seen[spec] = self.codecs_seen.get(spec, 0) + 1
+        if hp.enabled:
+            hp.timer("analysis.ingest").add(
+                hp.now() - t_host, items=1, nbytes=len(pack_bytes)
+            )
         return True
 
     # -- reduction --------------------------------------------------------------------

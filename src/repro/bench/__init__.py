@@ -22,6 +22,7 @@ from repro.bench.chaos import ChaosPoint, ChaosResult, chaos_resilience, load_pl
 from repro.bench.codec import CodecPoint, CodecResult, codec_reduction
 from repro.bench.flow import FlowPoint, FlowResult, flow_attribution
 from repro.bench.metrics import MetricsPoint, MetricsResult, metrics_timeline
+from repro.bench.selfperf import SelfPerfPoint, SelfPerfResult, selfperf_sweep
 from repro.bench.harness import OverheadPoint, measure_overhead, sweep
 from repro.bench.figures import (
     fig14_stream_throughput,
@@ -59,6 +60,9 @@ __all__ = [
     "MetricsPoint",
     "MetricsResult",
     "metrics_timeline",
+    "SelfPerfPoint",
+    "SelfPerfResult",
+    "selfperf_sweep",
     "fig14_stream_throughput",
     "fig15_overhead",
     "fig16_tool_comparison",

@@ -14,33 +14,42 @@ Usage::
     python -m repro.bench codec
     python -m repro.bench flow
     python -m repro.bench metrics
+    python -m repro.bench selfperf
     python -m repro.bench all
     python -m repro.bench compare BASELINE.json CANDIDATE.json [--tolerance T]
 
 Every experiment sub-command shares one argparse parent, so the common
-flags (``--scale/--seed/--csv/--json/--telemetry/--outdir/--baseline/
---tolerance``) are defined exactly once; experiment-specific flags
-(``chaos --chaos PLAN``) live on their own sub-command.
+flags (``--scale/--seed/--csv/--json/--telemetry/--profile/--outdir/
+--baseline/--tolerance/--metric-tolerance``) are defined exactly once;
+experiment-specific flags (``chaos --chaos PLAN``) live on their own
+sub-command.
 
 With ``--json`` each experiment additionally writes ``BENCH_<name>.json``
-(table rows + metadata); adding ``--telemetry`` runs the measurement
-pipeline itself instrumented, embeds the self-telemetry summary in the
-JSON, and dumps ``BENCH_<name>.trace.json`` — a Chrome trace-event file
-loadable in Perfetto or ``chrome://tracing``.  ``metrics --json`` also
-streams ``BENCH_metrics.ndjson``, the incremental NDJSON window/phase
-export.
+(table rows + metadata + a host-environment header); adding
+``--telemetry`` runs the measurement pipeline itself instrumented, embeds
+the self-telemetry summary in the JSON, and dumps
+``BENCH_<name>.trace.json`` — a Chrome trace-event file loadable in
+Perfetto or ``chrome://tracing``.  ``metrics --json`` also streams
+``BENCH_metrics.ndjson``, the incremental NDJSON window/phase export;
+``selfperf --json`` dumps the host profiler's Chrome trace and JSONL.
+``--profile`` wraps the driver in ``cProfile``, prints a top-N hotspot
+table and dumps ``BENCH_<name>.pstats`` for ``snakeviz``/``pstats``.
 
 ``compare`` diffs two such artefacts with direction-aware per-metric
-tolerances and exits non-zero on regression — the CI gate.  Experiment
-runs can self-gate in one step with ``--baseline BENCH_ref.json``.
+tolerances, warns on host-environment mismatch, and exits non-zero on
+regression — the CI gate.  Experiment runs can self-gate in one step with
+``--baseline BENCH_ref.json`` (plus ``--metric-tolerance`` overrides for
+host-speed-dependent throughput columns).
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
+import pstats
 import sys
-import time
 from pathlib import Path
 
 from repro.bench import (
@@ -55,11 +64,13 @@ from repro.bench import (
     fig18_density,
     fs_comparison_table,
     metrics_timeline,
+    selfperf_sweep,
     trace_size_table,
 )
 from repro.bench.compare import compare_bench, compare_files, load_bench_json
 from repro.errors import ConfigError
 from repro.telemetry import Telemetry
+from repro.telemetry.hostprof import host_environment, host_now
 
 _DRIVERS = {
     "fig14": fig14_stream_throughput,
@@ -74,7 +85,11 @@ _DRIVERS = {
     "codec": codec_reduction,
     "flow": flow_attribution,
     "metrics": metrics_timeline,
+    "selfperf": selfperf_sweep,
 }
+
+#: functions shown in the --profile hotspot table
+PROFILE_TOP_N = 15
 
 
 def _common_parser() -> argparse.ArgumentParser:
@@ -102,6 +117,12 @@ def _common_parser() -> argparse.ArgumentParser:
         "trace next to the JSON (implies --json)",
     )
     common.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the experiment under cProfile: print a top-N hotspot "
+        "table and dump BENCH_<name>.pstats into --outdir",
+    )
+    common.add_argument(
         "--outdir",
         default=".",
         help="directory for --json/--telemetry artefacts (default: cwd)",
@@ -117,6 +138,13 @@ def _common_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.05,
         help="allowed relative drift for --baseline (default 0.05)",
+    )
+    common.add_argument(
+        "--metric-tolerance",
+        action="append",
+        default=[],
+        metavar="COLUMN=FLOAT",
+        help="per-column tolerance override for --baseline; repeatable",
     )
     return common
 
@@ -204,7 +232,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--baseline gates a single experiment, not 'all'")
 
     outdir = Path(args.outdir)
-    if args.json:
+    if args.json or args.profile:
         outdir.mkdir(parents=True, exist_ok=True)
 
     names = sorted(_DRIVERS) if args.experiment == "all" else [args.experiment]
@@ -216,46 +244,90 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["plan"] = args.chaos
         if name == "metrics" and args.json:
             kwargs["ndjson_dir"] = str(outdir)
-        t0 = time.perf_counter()
-        result = driver(scale=args.scale, seed=args.seed, telemetry=telemetry, **kwargs)
-        elapsed = time.perf_counter() - t0
+        if name == "selfperf" and args.json:
+            kwargs["trace_dir"] = str(outdir)
+        stem = name.replace("-", "_")
+        profiler = cProfile.Profile() if args.profile else None
+        t0 = host_now()
+        if profiler is not None:
+            profiler.enable()
+        try:
+            result = driver(
+                scale=args.scale, seed=args.seed, telemetry=telemetry, **kwargs
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
+        elapsed = host_now() - t0
         table = result.table()
         print(table.to_csv() if args.csv else table.render())
         print(f"[{name}: regenerated in {elapsed:.1f}s at scale={args.scale}]")
+        hotspots = None
+        if profiler is not None:
+            hotspots = _report_profile(profiler, name, outdir)
+        payload = {
+            "experiment": name,
+            "scale": args.scale,
+            "seed": args.seed,
+            "elapsed_s": elapsed,
+            "host": host_environment(),
+            "columns": table.columns,
+            "rows": table.rows,
+        }
         if args.json:
-            stem = name.replace("-", "_")
-            payload = {
-                "experiment": name,
-                "scale": args.scale,
-                "seed": args.seed,
-                "elapsed_s": elapsed,
-                "columns": table.columns,
-                "rows": table.rows,
-            }
             if telemetry is not None:
                 payload["telemetry"] = telemetry.summary()
                 trace_path = outdir / f"BENCH_{stem}.trace.json"
                 telemetry.write_chrome_trace(trace_path)
                 print(f"[{name}: Chrome trace -> {trace_path}]")
+            if name == "selfperf":
+                payload["hostprof"] = result.profile
+                payload["overhead_ratio"] = result.overhead_ratio
+            if hotspots is not None:
+                payload["profile"] = hotspots
             json_path = outdir / f"BENCH_{stem}.json"
             json_path.write_text(json.dumps(payload, indent=2, default=str))
             print(f"[{name}: JSON -> {json_path}]")
         if args.baseline:
-            payload = {
-                "experiment": name,
-                "scale": args.scale,
-                "seed": args.seed,
-                "columns": table.columns,
-                "rows": table.rows,
-            }
             comparison = compare_bench(
-                load_bench_json(args.baseline), payload, tolerance=args.tolerance
+                load_bench_json(args.baseline),
+                payload,
+                tolerance=args.tolerance,
+                per_metric=_parse_metric_tolerances(args.metric_tolerance),
             )
             print(comparison.render())
             if not comparison.ok:
                 return 1
         print()
     return 0
+
+
+def _report_profile(profiler: cProfile.Profile, name: str, outdir: Path) -> list[dict]:
+    """Dump pstats, print the hotspot table, return top rows for the JSON."""
+    stem = name.replace("-", "_")
+    pstats_path = outdir / f"BENCH_{stem}.pstats"
+    profiler.dump_stats(pstats_path)
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats("cumulative")
+    buf = io.StringIO()
+    stats.stream = buf
+    stats.print_stats(PROFILE_TOP_N)
+    print(buf.getvalue().rstrip())
+    print(f"[{name}: pstats -> {pstats_path}]")
+    hotspots = []
+    for func, (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda kv: kv[1][3], reverse=True
+    )[:PROFILE_TOP_N]:
+        filename, lineno, funcname = func
+        hotspots.append(
+            {
+                "function": f"{filename}:{lineno}({funcname})",
+                "ncalls": nc,
+                "tottime_s": tt,
+                "cumtime_s": ct,
+            }
+        )
+    return hotspots
 
 
 if __name__ == "__main__":

@@ -23,7 +23,9 @@ from typing import Any
 from repro.errors import ConfigError
 
 #: column-name fragments implying "bigger is better"
-_HIGHER_BETTER = ("throughput", "gbps", "mbps", "bandwidth", "bi_", "rate", "speedup")
+_HIGHER_BETTER = (
+    "throughput", "gbps", "mbps", "bandwidth", "bi_", "rate", "speedup", "per_s",
+)
 #: column-name fragments implying "smaller is better"
 _LOWER_BETTER = (
     "overhead", "walltime", "time", "stall", "volume", "size", "bytes",
@@ -108,6 +110,8 @@ class BenchComparison:
     experiment: str
     deltas: list[MetricDelta] = field(default_factory=list)
     structural: list[str] = field(default_factory=list)  # shape mismatches
+    #: informational only (host-environment drift); never flips :attr:`ok`
+    warnings: list[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[MetricDelta]:
@@ -125,6 +129,8 @@ class BenchComparison:
         lines = [f"bench compare: {self.experiment}"]
         for msg in self.structural:
             lines.append(f"  [!] structural: {msg}")
+        for msg in self.warnings:
+            lines.append(f"  [~] warning: {msg}")
         shown = [d for d in self.deltas if d.status != "ok"]
         for delta in shown:
             lines.append("  " + delta.describe())
@@ -135,6 +141,32 @@ class BenchComparison:
         )
         lines.append("PASS" if self.ok else "FAIL")
         return "\n".join(lines)
+
+
+def _environment_warnings(
+    baseline: dict[str, Any], candidate: dict[str, Any]
+) -> list[str]:
+    """Host-fingerprint drift between artefacts (informational only).
+
+    Wall-clock-derived columns (throughputs, elapsed times) are only
+    apples-to-apples on the same interpreter/platform/CPU budget, so any
+    mismatch in the ``host`` headers (stamped by ``--json`` runs since the
+    hostprof plane landed) is surfaced — but a slower runner is not a code
+    regression, so warnings never fail the gate.  Artefacts predating the
+    header compare silently.
+    """
+    b_host, c_host = baseline.get("host"), candidate.get("host")
+    if not isinstance(b_host, dict) or not isinstance(c_host, dict):
+        return []
+    warnings = []
+    for key in sorted(set(b_host) | set(c_host)):
+        b_val, c_val = b_host.get(key), c_host.get(key)
+        if b_val != c_val:
+            warnings.append(
+                f"host environment differs: {key} {b_val!r} -> {c_val!r} "
+                "(wall-clock metrics may not be comparable)"
+            )
+    return warnings
 
 
 def compare_bench(
@@ -166,6 +198,7 @@ def compare_bench(
             f"vs candidate {candidate.get('experiment')!r}"
         )
         return cmp
+    cmp.warnings.extend(_environment_warnings(baseline, candidate))
 
     b_cols, c_cols = list(baseline["columns"]), list(candidate["columns"])
     missing = [c for c in b_cols if c not in c_cols]

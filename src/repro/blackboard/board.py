@@ -10,14 +10,14 @@ ability of any KS to register or remove KSs, including itself.
 from __future__ import annotations
 
 import threading
-import time
 from typing import Any, Callable
 
 from repro.errors import BlackboardError, UnknownTypeError
 from repro.blackboard.entry import DataEntry, TypeRegistry
 from repro.blackboard.jobs import Job, JobQueues
 from repro.blackboard.ks import KnowledgeSource, Operation
-from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry import NULL_TELEMETRY, Telemetry, hostprof
+from repro.telemetry.hostprof import host_now
 
 
 class Blackboard:
@@ -90,6 +90,8 @@ class Blackboard:
         """Push a data entry; triggers sensitive knowledge sources."""
         if not self.types.known(type_id):
             raise UnknownTypeError(f"submit of unregistered type {type_id:#x}")
+        hp = hostprof.ACTIVE
+        t_host = hp.now() if hp.enabled else 0.0
         if size is None:
             size = len(payload) if hasattr(payload, "__len__") else 0
         entry = DataEntry(type_id, size, payload)
@@ -115,6 +117,11 @@ class Blackboard:
             with self._idle:
                 self._in_flight += 1
             self.queues.push(job)
+        if hp.enabled:
+            # Control-system scheduling cost: fan-out + FIFO pushes.
+            hp.timer("blackboard.submit").add(
+                hp.now() - t_host, items=len(jobs), nbytes=size
+            )
         return entry
 
     def submit_named(self, name: str, payload: Any, level: str = "", size: int | None = None) -> DataEntry:
@@ -125,8 +132,11 @@ class Blackboard:
     def execute(self, job: Job) -> None:
         """Run one job and release its input entries."""
         tel = self.telemetry
+        hp = hostprof.ACTIVE
         span = None
         t_host = 0.0
+        if tel.enabled or hp.enabled:
+            t_host = host_now()
         if tel.enabled:
             span = tel.span(
                 "blackboard.job",
@@ -134,7 +144,6 @@ class Blackboard:
                 cat="blackboard",
                 args={"ks": job.ks.name},
             )
-            t_host = time.perf_counter()
         try:
             job.ks.operation(self, job.entries)
             job.ks.fired += 1
@@ -143,9 +152,11 @@ class Blackboard:
                 self._release_entry(entry)
             with self._stats_lock:
                 self.jobs_executed += 1
+            if hp.enabled:
+                hp.timer("blackboard.execute").add(host_now() - t_host)
             if span is not None:
                 tel.counter("blackboard.jobs_executed").inc()
-                cpu_s = time.perf_counter() - t_host
+                cpu_s = host_now() - t_host
                 tel.histogram("blackboard.job_cpu_s").observe(cpu_s)
                 # Per-KS cost breakdown: which operation the analysis time
                 # actually goes to (the report's latency attribution input).

@@ -14,6 +14,7 @@ import time
 
 from repro.errors import BlackboardError
 from repro.blackboard.board import Blackboard
+from repro.telemetry.hostprof import host_now
 
 
 class ThreadPool:
@@ -56,7 +57,7 @@ class ThreadPool:
         rng = random.Random((self.seed << 8) | index)
         backoff = self.BACKOFF_MIN
         while not self._stop.is_set():
-            t0 = time.perf_counter()
+            t0 = host_now()
             job = self.board.queues.try_pop(start=rng.randrange(self.board.queues.nqueues))
             if job is not None:
                 if job.t_submitted is not None:
@@ -64,12 +65,12 @@ class ThreadPool:
                         0.0, self.board.telemetry.now() - job.t_submitted
                     )
                 self.board.execute(job)
-                self.busy_s[index] += time.perf_counter() - t0
+                self.busy_s[index] += host_now() - t0
                 self.jobs_per_worker[index] += 1
                 backoff = self.BACKOFF_MIN
                 continue
             time.sleep(backoff)
-            self.idle_s[index] += time.perf_counter() - t0
+            self.idle_s[index] += host_now() - t0
             backoff = min(backoff * 2.0, self.BACKOFF_MAX)
 
     def utilization(self) -> float:

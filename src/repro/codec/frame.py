@@ -46,6 +46,7 @@ from repro.errors import (
     PackFormatError,
     SectionLengthError,
 )
+from repro.telemetry import hostprof
 
 FRAME_MAGIC = 0x45564632  # "EVF2"
 FRAME_VERSION = 2
@@ -229,6 +230,8 @@ def build_frame(
         raise PackFormatError(f"app_id {app_id} outside u16")
     if not (0 <= rank < 2**32):
         raise PackFormatError(f"rank {rank} outside u32")
+    hp = hostprof.ACTIVE
+    t_host = hp.now() if hp.enabled else 0.0
     frame = Frame(app_id=app_id, rank=rank, count=count, flags=flags)
     frame.sections.append((SEC_PAYLOAD, bytes(payload)))
     if codec:
@@ -239,7 +242,10 @@ def build_frame(
         )
     if provenance is not None:
         frame.with_provenance(provenance)
-    return frame.to_bytes()
+    blob = frame.to_bytes()
+    if hp.enabled:
+        hp.timer("frame.emit").add(hp.now() - t_host, nbytes=len(blob))
+    return blob
 
 
 def parse_frame(blob, verify: bool = True) -> Frame:
@@ -252,6 +258,8 @@ def parse_frame(blob, verify: bool = True) -> Frame:
     ``Frame.sections`` untouched (forward compatibility: they survive a
     parse → emit round trip).
     """
+    hp = hostprof.ACTIVE
+    t_host = hp.now() if hp.enabled else 0.0
     try:
         view = memoryview(blob)
     except TypeError:
@@ -320,6 +328,8 @@ def parse_frame(blob, verify: bool = True) -> Frame:
                 f"pack checksum mismatch: stored {frame.stored_crc:#010x}, "
                 f"computed {computed:#010x}"
             )
+    if hp.enabled:
+        hp.timer("frame.parse").add(hp.now() - t_host, nbytes=total)
     return frame
 
 

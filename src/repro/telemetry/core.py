@@ -15,10 +15,10 @@ instrumentation point.
 
 from __future__ import annotations
 
-import time
 from typing import Any, Callable
 
 from repro.telemetry.export import EXPORTERS, chrome_trace_dict, jsonl_records
+from repro.telemetry.hostprof import host_now
 from repro.telemetry.metrics import (
     NULL_COUNTER,
     NULL_GAUGE,
@@ -43,7 +43,9 @@ class Telemetry:
 
     def __init__(self, enabled: bool = True, clock: Callable[[], float] | None = None):
         self.enabled = enabled
-        self._clock = clock or time.perf_counter
+        # Fallback to the injectable hostprof clock (standalone components
+        # without a kernel); bind_clock() points it at virtual time.
+        self._clock = clock or host_now
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[tuple[str, int], Gauge] = {}
         self.histograms: dict[str, HistogramMetric] = {}

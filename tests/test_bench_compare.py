@@ -40,6 +40,12 @@ class TestDirection:
         assert metric_direction("writers") == "either"
         assert metric_direction("ratio") == "either"
 
+    def test_selfperf_throughputs_are_higher_better(self):
+        assert metric_direction("kernel_events_per_s") == "higher"
+        assert metric_direction("stream_mb_per_s") == "higher"
+        assert metric_direction("codec_mb_per_s") == "higher"
+        assert metric_direction("frame_mb_per_s") == "higher"
+
 
 class TestCompare:
     def test_identical_passes(self):
@@ -115,6 +121,32 @@ class TestCompare:
         base = payload([["64", "1.0"]], columns=cols)
         cand = payload([["64", "99.0"]], columns=cols)
         assert compare_bench(base, cand).ok
+
+
+HOST = {
+    "python": "3.11.7", "implementation": "CPython",
+    "platform": "Linux-x86_64", "machine": "x86_64", "cpu_count": 8,
+}
+
+
+class TestEnvironmentWarnings:
+    def test_matching_hosts_are_silent(self):
+        base, cand = dict(BASE, host=dict(HOST)), dict(BASE, host=dict(HOST))
+        cmp = compare_bench(base, cand)
+        assert cmp.ok and cmp.warnings == []
+
+    def test_mismatch_warns_but_never_fails(self):
+        other = dict(HOST, python="3.12.1", cpu_count=2)
+        cmp = compare_bench(dict(BASE, host=dict(HOST)), dict(BASE, host=other))
+        assert cmp.ok  # warnings are informational only
+        assert len(cmp.warnings) == 2
+        rendered = cmp.render()
+        assert "[~] warning" in rendered and "PASS" in rendered
+        assert any("python" in w and "3.12.1" in w for w in cmp.warnings)
+
+    def test_artefacts_without_header_compare_silently(self):
+        assert compare_bench(BASE, dict(BASE, host=dict(HOST))).warnings == []
+        assert compare_bench(dict(BASE, host=dict(HOST)), BASE).warnings == []
 
 
 class TestStructural:
