@@ -379,6 +379,7 @@ def analyzer_program(
         engine.enable_health_ingest(monitor)
 
     flows = world.flows
+    steering = world.steering
     while True:
         nbytes, payload = yield from stream.read()
         if nbytes == EOF:
@@ -414,6 +415,12 @@ def analyzer_program(
             if tel.enabled:
                 tel.histogram("codec.decode_s").observe(decode_cpu)
             cost += decode_cpu
+        # Steering's autoscaled knowledge-source pool: the modelled worker
+        # count divides the analysis charge.  Reading the live attribute per
+        # pack is what makes mid-run scale decisions take effect; a pool of
+        # one (never scaled) leaves the charge bit-identical.
+        if steering is not None and steering.analysis_workers != 1:
+            cost /= steering.analysis_workers
         yield from mpi.compute(cost)
         ok = engine.ingest(payload)
         if prov is not None:

@@ -182,6 +182,9 @@ class ProfileReport:
     #: Time-resolved POP efficiency summary (``PopMetricsEngine.summary()``)
     #: when online efficiency metrics were enabled; None otherwise.
     efficiency: Optional[dict] = None
+    #: Adaptive-steering summary (``SteeringController.summary()``) when the
+    #: control loop was enabled for the run; None otherwise.
+    steering: Optional[dict] = None
 
     def chapter(self, app: str) -> ApplicationReport:
         for ch in self.chapters:
@@ -207,6 +210,8 @@ class ProfileReport:
             parts.append(self._render_reduction())
         if self.efficiency:
             parts.append(self._render_efficiency())
+        if self.steering:
+            parts.append(self._render_steering())
         return "\n".join(parts)
 
     def _render_telemetry(self) -> str:
@@ -285,6 +290,9 @@ class ProfileReport:
                 )
             if len(alerts) > 12:
                 out.append(f"  - ... and {len(alerts) - 12} more")
+            unresolved = h.get("unresolved", [])
+            if unresolved:
+                out.append("- still firing at shutdown: " + ", ".join(unresolved))
         series = h.get("series", {})
         if series:
             out.append("")
@@ -452,6 +460,53 @@ class ProfileReport:
             out.append(
                 "- stream health (last window): "
                 + ", ".join(f"{k}={v:.3g}" for k, v in sorted(stream.items()))
+            )
+        out.append("")
+        return "\n".join(out)
+
+    def _render_steering(self) -> str:
+        """The control loop's decision journal: alert -> decision -> actuation."""
+        s = self.steering
+        out = ["## Steering", ""]
+        policy = s.get("policy") or {}
+        out.append(f"- policy: `{policy.get('name', '?')}`")
+        decisions = s.get("decisions", [])
+        if not decisions:
+            out.append(
+                f"- decisions: none ({s.get('alerts_seen', 0)} alerts observed, "
+                "run untouched)"
+            )
+        else:
+            by_action = s.get("by_action", {})
+            out.append(
+                "- decisions: "
+                + ", ".join(f"{k} x{n}" for k, n in sorted(by_action.items()))
+            )
+            for d in decisions[:12]:
+                detail = d.get("detail") or {}
+                extra = (
+                    " (" + ", ".join(f"{k}={v}" for k, v in sorted(detail.items())) + ")"
+                    if detail
+                    else ""
+                )
+                latency = ""
+                before, after = d.get("latency_before_s"), d.get("latency_after_s")
+                if before is not None and after is not None:
+                    latency = (
+                        f" [latency {fmt_time(before)} -> {fmt_time(after)}]"
+                    )
+                out.append(
+                    f"  - [{d['t']:.6f}s] {d['action']} <- "
+                    f"{d['trigger_kind']}{extra}{latency}"
+                )
+            if len(decisions) > 12:
+                out.append(f"  - ... and {len(decisions) - 12} more")
+        final = s.get("final") or {}
+        if final:
+            out.append(
+                f"- final state: chain `{final.get('chain', 'identity')}`, "
+                f"{final.get('workers', 1)} analyzer worker(s), "
+                f"{final.get('rebalances', 0)} rebalance round(s)"
             )
         out.append("")
         return "\n".join(out)

@@ -23,6 +23,12 @@ from repro.bench.codec import CodecPoint, CodecResult, codec_reduction
 from repro.bench.flow import FlowPoint, FlowResult, flow_attribution
 from repro.bench.metrics import MetricsPoint, MetricsResult, metrics_timeline
 from repro.bench.selfperf import SelfPerfPoint, SelfPerfResult, selfperf_sweep
+from repro.bench.steering import (
+    SteeringBenchPoint,
+    SteeringBenchResult,
+    bench_policy,
+    steering_adaptation,
+)
 from repro.bench.harness import OverheadPoint, measure_overhead, sweep
 from repro.bench.figures import (
     fig14_stream_throughput,
@@ -63,6 +69,10 @@ __all__ = [
     "SelfPerfPoint",
     "SelfPerfResult",
     "selfperf_sweep",
+    "SteeringBenchPoint",
+    "SteeringBenchResult",
+    "bench_policy",
+    "steering_adaptation",
     "fig14_stream_throughput",
     "fig15_overhead",
     "fig16_tool_comparison",

@@ -15,6 +15,7 @@ Usage::
     python -m repro.bench flow
     python -m repro.bench metrics
     python -m repro.bench selfperf
+    python -m repro.bench steering
     python -m repro.bench all
     python -m repro.bench compare BASELINE.json CANDIDATE.json [--tolerance T]
 
@@ -31,7 +32,8 @@ the self-telemetry summary in the JSON, and dumps
 ``BENCH_<name>.trace.json`` — a Chrome trace-event file loadable in
 Perfetto or ``chrome://tracing``.  ``metrics --json`` also streams
 ``BENCH_metrics.ndjson``, the incremental NDJSON window/phase export;
-``selfperf --json`` dumps the host profiler's Chrome trace and JSONL.
+``selfperf --json`` dumps the host profiler's Chrome trace and JSONL;
+``steering --json`` dumps the adaptive run's decision log.
 ``--profile`` wraps the driver in ``cProfile``, prints a top-N hotspot
 table and dumps ``BENCH_<name>.pstats`` for ``snakeviz``/``pstats``.
 
@@ -65,6 +67,7 @@ from repro.bench import (
     fs_comparison_table,
     metrics_timeline,
     selfperf_sweep,
+    steering_adaptation,
     trace_size_table,
 )
 from repro.bench.compare import compare_bench, compare_files, load_bench_json
@@ -86,6 +89,7 @@ _DRIVERS = {
     "flow": flow_attribution,
     "metrics": metrics_timeline,
     "selfperf": selfperf_sweep,
+    "steering": steering_adaptation,
 }
 
 #: functions shown in the --profile hotspot table
@@ -246,6 +250,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["ndjson_dir"] = str(outdir)
         if name == "selfperf" and args.json:
             kwargs["trace_dir"] = str(outdir)
+        if name == "steering" and args.json:
+            kwargs["decisions_dir"] = str(outdir)
         stem = name.replace("-", "_")
         profiler = cProfile.Profile() if args.profile else None
         t0 = host_now()

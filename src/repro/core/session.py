@@ -28,6 +28,8 @@ from repro.instrument.interceptor import StreamingInstrumentation
 from repro.instrument.overhead import InstrumentationCost
 from repro.mpi.world import World
 from repro.network.machine import MachineSpec, TERA100
+from repro.analysis.alerts import AlertRouter
+from repro.steering import SteeringController, SteeringPolicy
 from repro.telemetry import FlowRegistry, NULL_TELEMETRY, Telemetry
 from repro.telemetry.monitor import HealthMonitor, MonitorConfig
 from repro.telemetry.popmetrics import PopConfig, PopMetricsEngine
@@ -87,6 +89,9 @@ class SessionResult:
     #: ``PopMetricsEngine.summary()`` when time-resolved efficiency metrics
     #: were enabled: per-phase POP metrics, window count, end-of-run totals.
     efficiency: dict[str, Any] | None = None
+    #: ``SteeringController.summary()`` when adaptive steering was enabled:
+    #: the policy, the decision journal, and the final actuator state.
+    steering: dict[str, Any] | None = None
 
     def app(self, name: str) -> AppRun:
         try:
@@ -125,6 +130,7 @@ class CouplingSession:
         self._flows: FlowRegistry | None = None
         self._pop: PopMetricsEngine | None = None
         self._pop_writer: MetricsStreamWriter | None = None
+        self._steering: SteeringController | None = None
 
     # -- configuration ------------------------------------------------------------
 
@@ -244,6 +250,39 @@ class CouplingSession:
     def pop_metrics(self) -> PopMetricsEngine | None:
         return self._pop
 
+    def enable_steering(self, policy: SteeringPolicy | None = None) -> SteeringController:
+        """Close the control loop: act on health alerts during the run.
+
+        A :class:`~repro.steering.SteeringController` subscribes to the
+        health monitor's alert router and — under the given declarative
+        :class:`~repro.steering.SteeringPolicy` — escalates/relaxes the
+        writers' reduction chain, autoscales the analyzer's modelled
+        worker pool, and rebalances writers across analyzer ranks.  The
+        monitor (and its router) is created on demand; live telemetry is
+        required.  A run in which no decision fires is bit-identical to
+        the same run without steering.
+
+        After :meth:`run`, :attr:`SessionResult.steering` and the
+        report's "Steering" section carry the decision journal.
+        """
+        if not self.telemetry.enabled:
+            raise ConfigError(
+                "steering needs telemetry; construct the session with "
+                "telemetry=Telemetry()"
+            )
+        if self._steering is not None:
+            raise ConfigError("steering already enabled for this session")
+        if self._monitor is None:
+            self.enable_monitor()
+        if self._monitor.router is None:
+            self._monitor.router = AlertRouter()
+        self._steering = SteeringController(policy)
+        return self._steering
+
+    @property
+    def steering(self) -> SteeringController | None:
+        return self._steering
+
     def enable_provenance(self, sample_rate: float = 1.0) -> FlowRegistry:
         """Trace causal pack flows through the upcoming run.
 
@@ -337,6 +376,15 @@ class CouplingSession:
             injector.attach(world, ANALYZER_PARTITION)
         if self._monitor is not None:
             self._monitor.attach(world.kernel)
+        if self._steering is not None:
+            # After the monitor: the controller's relax hook must observe a
+            # tick's cleared alerts before judging quiescence.
+            self._steering.attach(
+                world,
+                self._monitor,
+                instr_registry,
+                initial_chain=self.instrumentation.reduction,
+            )
         if self._pop is not None:
             self._pop.bind_sources(instr_registry)
             self._pop.attach(world.kernel)
@@ -397,6 +445,13 @@ class CouplingSession:
             efficiency = self._pop.summary()
             if report is not None:
                 report.efficiency = efficiency
+        steering = None
+        if self._steering is not None:
+            self._steering.finalize(world.kernel.now)
+            self._steering.detach()
+            steering = self._steering.summary()
+            if report is not None:
+                report.steering = steering
         attempted = sum(run.packs + run.packs_dropped for run in apps.values())
         analyzed = stats["packs"] if stats is not None else 0
         loss = 1.0 - analyzed / attempted if attempted > 0 else 0.0
@@ -416,6 +471,7 @@ class CouplingSession:
             flows=flows,
             reduction=reduction,
             efficiency=efficiency,
+            steering=steering,
         )
 
     def run_reference(self) -> SessionResult:

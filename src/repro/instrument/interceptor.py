@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING
 
 from repro.codec.frame import PackProvenance
 from repro.codec.stages import build_chain
-from repro.errors import InstrumentationError
+from repro.errors import InstrumentationError, ReproError
 from repro.instrument.events import EVENT_RECORD_SIZE
 from repro.instrument.overhead import InstrumentationCost
 from repro.instrument.packer import EventPackBuilder, pack_content_size
@@ -104,6 +104,26 @@ class StreamingInstrumentation(Interceptor):
                 f"MPI call {record.name} before MPI_Init on rank {ctx.global_rank}"
             )
         return self._capture(record)
+
+    # -- online steering ----------------------------------------------------------
+
+    def set_reduction(self, spec: str | None) -> str:
+        """Switch the reduction chain applied to packs sealed from now on.
+
+        Records already buffered are untouched — the chain applies at seal
+        time — and every pack carries its own EVF2 codec descriptor, so the
+        analyzer decodes pre- and post-switch packs alike without any
+        out-of-band coordination.  Returns the normalized chain spec.
+        """
+        try:
+            chain = build_chain(spec or "")
+        except ReproError as exc:
+            raise InstrumentationError(
+                f"invalid reduction chain {spec!r}: {exc}"
+            ) from exc
+        self.chain = chain if chain.stages else None
+        self.builder.chain = self.chain
+        return chain.spec
 
     # -- stages -------------------------------------------------------------------
 

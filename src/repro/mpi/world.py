@@ -103,6 +103,9 @@ class World:
         #: The attached FlowRegistry when causal pack tracing is enabled;
         #: None keeps every provenance call site to a single branch.
         self.flows: Any | None = None
+        #: The attached SteeringController when adaptive steering is
+        #: enabled; None keeps the analyzer's cost path to a single branch.
+        self.steering: Any | None = None
 
     # -- group registry ------------------------------------------------------------
 

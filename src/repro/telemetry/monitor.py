@@ -55,6 +55,23 @@ WATCHED_SERIES = (
     "counter.vmpi.rank_remaps",
 )
 
+#: Kinds raised by the *windowed* detectors — conditions that persist while
+#: their window statistic stays above threshold.  These (and only these)
+#: get a paired edge-triggered ``<kind>.cleared`` alert when the condition
+#: returns below threshold, so subscribers can implement hysteresis.
+WINDOWED_KINDS = frozenset(
+    {
+        "stream_stall",
+        "backlog_growth",
+        "load_imbalance",
+        "worker_starvation",
+        "critical_path",
+    }
+)
+
+#: Suffix of the paired clear event of a windowed alert kind.
+CLEARED_SUFFIX = ".cleared"
+
 #: Cumulative fault/defence counters watched edge-triggered: any increase
 #: between ticks raises the mapped alert kind at the given severity.  These
 #: series only exist once a fault (or a defensive reaction) happened, so the
@@ -81,7 +98,8 @@ class HealthAlert:
     #            kinds (analyzer_crash, analyzer_failover, link_degraded,
     #            pack_corruption, pack_drop, analyzer_stall,
     #            pack_checksum_reject, stream_write_timeout,
-    #            stream_overflow_drop)
+    #            stream_overflow_drop) | "<windowed>.cleared" edge events
+    #            at severity "info" when a windowed condition subsides
     t_detect: float
     severity: str  # "warn" | "critical"
     value: float
@@ -179,6 +197,11 @@ class HealthMonitor:
         self.published = 0
         self._raised_until: dict[str, float] = {}
         self._fault_seen: dict[str, float] = {}
+        # Edge tracking for the paired cleared events: which windowed kinds
+        # fired this tick (above threshold, cooldown or not), and which have
+        # an emitted alert that has not cleared yet.
+        self._firing: set[str] = set()
+        self._active: dict[str, HealthAlert] = {}
         self._publish: Callable[[HealthAlert], None] | None = None
         self._pending_publish: list[HealthAlert] = []
         self._hook: "PeriodicHook | None" = None
@@ -210,15 +233,41 @@ class HealthMonitor:
     def evaluate(self, now: float) -> list[HealthAlert]:
         """Run every detector against the trailing window ending at ``now``."""
         new: list[HealthAlert] = []
+        self._firing.clear()
         new += self._detect_stream_stall(now)
         new += self._detect_backlog(now)
         busy = self._busy_by_track(now)
         new += self._detect_worker_balance(now, busy)
         new += self._detect_critical_path(now)
         new += self._detect_faults(now)
+        new += self._detect_cleared(now)
         for alert in new:
             self._emit(alert)
         return new
+
+    def _detect_cleared(self, now: float) -> list[HealthAlert]:
+        """Paired edge events: an active windowed condition dropped below
+        threshold this tick.
+
+        ``_firing`` holds every windowed kind whose condition held this
+        tick regardless of the raise cooldown, so a suppressed-but-still
+        -firing condition does not clear.  Fault-watch kinds are cumulative
+        edge events with no "below threshold" state and never clear.
+        """
+        out: list[HealthAlert] = []
+        for kind in sorted(set(self._active) - self._firing):
+            raised = self._active.pop(kind)
+            out.append(
+                HealthAlert(
+                    kind=kind + CLEARED_SUFFIX, t_detect=now, severity="info",
+                    value=raised.value, threshold=raised.threshold,
+                    detail={
+                        "raised_at": raised.t_detect,
+                        "active_s": round(now - raised.t_detect, 9),
+                    },
+                )
+            )
+        return out
 
     def _detect_faults(self, now: float) -> list[HealthAlert]:
         """Edge-triggered watch over cumulative fault/defence counters.
@@ -390,16 +439,17 @@ class HealthMonitor:
     def _raise(
         self, kind: str, now: float, value: float, threshold: float, detail: dict
     ) -> list[HealthAlert]:
+        self._firing.add(kind)
         if self._raised_until.get(kind, -1.0) > now:
             return []
         self._raised_until[kind] = now + self.config.effective_cooldown
         severity = "critical" if threshold > 0 and value >= 2 * threshold else "warn"
-        return [
-            HealthAlert(
-                kind=kind, t_detect=now, severity=severity,
-                value=value, threshold=threshold, detail=detail,
-            )
-        ]
+        alert = HealthAlert(
+            kind=kind, t_detect=now, severity=severity,
+            value=value, threshold=threshold, detail=detail,
+        )
+        self._active[kind] = alert
+        return [alert]
 
     def _emit(self, alert: HealthAlert) -> None:
         self.alerts.append(alert)
@@ -452,6 +502,7 @@ class HealthMonitor:
             "series_tracked": len(self.timeline.series),
             "alerts": [a.as_dict() for a in self.alerts],
             "by_kind": self.by_kind(),
+            "unresolved": sorted(self._active),
             "published_to_blackboard": self.published,
             "series": series,
         }

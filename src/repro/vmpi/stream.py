@@ -179,6 +179,7 @@ class VMPIStream:
         self.bytes_lost_to_crash = 0
         self.endpoints_failed = 0
         self.peers_adopted = 0
+        self.endpoints_retargeted = 0
         self.blocks_discarded_at_close = 0
         self.bytes_discarded_at_close = 0
         self.stale_blocks_discarded = 0
@@ -190,6 +191,9 @@ class VMPIStream:
         self._rng = None
         self._inflight: list[_InFlight] = []
         self._tamper: Callable[["VMPIStream", int, Any], tuple[str | None, Any]] | None = None
+        # Readers this writer stopped targeting (steering remap) but still
+        # owes a close marker to — their EOF protocol counts this writer.
+        self._retired_peers: set[int] = set()
         # provenance state (None unless the world carries a FlowRegistry)
         self._flows = None
         self._last_retry_delay = 0.0
@@ -517,6 +521,33 @@ class VMPIStream:
         self.endpoints.append(peer)
         self.peers_adopted += 1
 
+    def retarget_endpoint(self, old: int, new: int) -> bool:
+        """Steering-driven writer remap: stop sending to ``old``, send to ``new``.
+
+        Unlike :meth:`fail_endpoint` the old reader is alive: blocks already
+        in flight toward it stay valid and are consumed normally, and the
+        old peer is remembered so :meth:`close` still delivers its close
+        marker — the reader-side EOF protocol survives any number of
+        remaps, including ping-pong back to a previously retired reader.
+        The adopting reader must take over with :meth:`adopt_peer`.
+        Returns False when there is nothing to do (``old`` not currently
+        targeted, ``old == new``, or the stream already closed).
+        """
+        if self.mode != "w":
+            raise VMPIError("retarget_endpoint() on a non-writer stream")
+        if self._closed or old == new or old not in self.endpoints:
+            return False
+        self.endpoints.remove(old)
+        self._retired_peers.add(old)
+        if new not in self.endpoints:
+            self.endpoints.append(new)
+            self.peers_adopted += 1
+        self._retired_peers.discard(new)
+        self.endpoints_retargeted += 1
+        if self._tel.enabled:
+            self._tel.counter("stream.endpoints_retargeted").inc()
+        return True
+
     def adopt_peer(self, writer_global: int) -> None:
         """Reader side of failover: accept an orphaned writer.
 
@@ -734,7 +765,11 @@ class VMPIStream:
                 yield self._slots.acquire()
             for _ in range(self.na):
                 self._slots.release()
-            for peer in self.endpoints:
+            # Current endpoints plus readers retired by retarget_endpoint():
+            # each connected-at-any-point reader expects exactly one close.
+            close_peers = list(self.endpoints)
+            close_peers += [p for p in sorted(self._retired_peers) if p not in close_peers]
+            for peer in close_peers:
                 yield from mpi.comm_universe._raw_isend(
                     peer, nbytes=1, tag=self.tag, payload=_CLOSE
                 )
@@ -833,6 +868,7 @@ class VMPIStream:
             "bytes_lost_to_crash": self.bytes_lost_to_crash,
             "endpoints_failed": self.endpoints_failed,
             "peers_adopted": self.peers_adopted,
+            "endpoints_retargeted": self.endpoints_retargeted,
             "blocks_discarded_at_close": self.blocks_discarded_at_close,
             "bytes_discarded_at_close": self.bytes_discarded_at_close,
             "stale_blocks_discarded": self.stale_blocks_discarded,

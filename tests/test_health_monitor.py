@@ -382,3 +382,88 @@ class TestSessionIntegration:
         ingest = result.analyzer_stats["health_ingest"]
         assert sum(ingest.values()) == result.health["published_to_blackboard"]
         assert result.health["by_kind"] == ingest
+
+
+# -- paired cleared events ------------------------------------------------------------
+
+
+class TestClearedEvents:
+    def make(self, **overrides):
+        cfg = dict(interval=0.05, window=0.25)
+        cfg.update(overrides)
+        tel = Telemetry()
+        kernel = Kernel(telemetry=tel)
+        monitor = HealthMonitor(tel, config=MonitorConfig(**cfg))
+        return tel, kernel, monitor
+
+    def test_windowed_alert_clears_when_condition_subsides(self):
+        tel, kernel, monitor = self.make(eagain_rate_threshold=200.0)
+        eagain = tel.counter("stream.eagain_returns")
+        _run_with_load(
+            kernel, monitor,
+            lambda now: eagain.inc(10) if now < 0.4 else None,
+        )
+        kinds = monitor.by_kind()
+        assert kinds.get("stream_stall", 0) >= 1
+        cleared = [a for a in monitor.alerts if a.kind == "stream_stall.cleared"]
+        assert len(cleared) == 1
+        c = cleared[0]
+        assert c.severity == "info"
+        raised = [a for a in monitor.alerts if a.kind == "stream_stall"][-1]
+        assert c.detail["raised_at"] == raised.t_detect
+        assert c.detail["active_s"] == pytest.approx(
+            c.t_detect - raised.t_detect
+        )
+        assert c.t_detect > raised.t_detect
+        assert monitor.summary()["unresolved"] == []
+
+    def test_still_firing_condition_reported_unresolved(self):
+        tel, kernel, monitor = self.make(eagain_rate_threshold=200.0)
+        eagain = tel.counter("stream.eagain_returns")
+        _run_with_load(kernel, monitor, lambda now: eagain.inc(10))
+        assert not [a for a in monitor.alerts if a.kind.endswith(".cleared")]
+        assert monitor.summary()["unresolved"] == ["stream_stall"]
+
+    def test_cooldown_suppressed_condition_does_not_clear(self):
+        # The raise cooldown dedups alerts while the condition persists;
+        # a suppressed-but-still-firing condition must not emit .cleared.
+        tel, kernel, monitor = self.make(
+            eagain_rate_threshold=1.0, cooldown=10.0
+        )
+        eagain = tel.counter("stream.eagain_returns")
+        _run_with_load(kernel, monitor, lambda now: eagain.inc(10))
+        assert monitor.by_kind()["stream_stall"] == 1
+        assert not [a for a in monitor.alerts if a.kind.endswith(".cleared")]
+        assert monitor.summary()["unresolved"] == ["stream_stall"]
+
+    def test_fault_watch_kinds_never_clear(self):
+        tel, kernel, monitor = self.make()
+        timeouts = tel.counter("stream.write_timeouts")
+        fired = {"done": False}
+
+        def load(now):
+            if now >= 0.2 and not fired["done"]:
+                timeouts.inc()
+                fired["done"] = True
+
+        _run_with_load(kernel, monitor, load)
+        assert monitor.by_kind().get("stream_write_timeout", 0) >= 1
+        assert not [a for a in monitor.alerts if a.kind.endswith(".cleared")]
+        assert monitor.summary()["unresolved"] == []
+
+    def test_condition_reraises_after_clearing(self):
+        tel, kernel, monitor = self.make(
+            eagain_rate_threshold=200.0, cooldown=0.05
+        )
+        eagain = tel.counter("stream.eagain_returns")
+        # Two separate storms with a quiet gap wide enough to clear.
+        _run_with_load(
+            kernel, monitor,
+            lambda now: eagain.inc(10) if now < 0.3 or now > 1.0 else None,
+            duration=1.4,
+        )
+        raised = [a for a in monitor.alerts if a.kind == "stream_stall"]
+        cleared = [a for a in monitor.alerts if a.kind == "stream_stall.cleared"]
+        assert len(cleared) >= 1
+        assert len(raised) >= 2  # the second storm re-raises after the clear
+        assert raised[0].t_detect < cleared[0].t_detect < raised[-1].t_detect
