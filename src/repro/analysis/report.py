@@ -185,6 +185,9 @@ class ProfileReport:
     #: Adaptive-steering summary (``SteeringController.summary()``) when the
     #: control loop was enabled for the run; None otherwise.
     steering: Optional[dict] = None
+    #: Unified observability-bus summary (``ObservabilityBus.summary()``)
+    #: when the bus was enabled for the run; None otherwise.
+    obs: Optional[dict] = None
 
     def chapter(self, app: str) -> ApplicationReport:
         for ch in self.chapters:
@@ -212,6 +215,8 @@ class ProfileReport:
             parts.append(self._render_efficiency())
         if self.steering:
             parts.append(self._render_steering())
+        if self.obs:
+            parts.append(self._render_obs())
         return "\n".join(parts)
 
     def _render_telemetry(self) -> str:
@@ -508,6 +513,33 @@ class ProfileReport:
                 f"{final.get('workers', 1)} analyzer worker(s), "
                 f"{final.get('rebalances', 0)} rebalance round(s)"
             )
+        out.append("")
+        return "\n".join(out)
+
+    def _render_obs(self) -> str:
+        """The unified record plane: what was published where, what dropped."""
+        s = self.obs
+        out = ["## Observability", ""]
+        out.append(
+            f"- records published: {s.get('published', 0)} "
+            f"({s.get('rejected', 0)} rejected at publish)"
+        )
+        for schema, kinds in sorted((s.get("schemas") or {}).items()):
+            total = sum(kinds.values())
+            breakdown = ", ".join(f"{k} x{n}" for k, n in sorted(kinds.items()))
+            out.append(f"  - `{schema}`: {total} ({breakdown})")
+        for sink in s.get("sinks", []):
+            line = (
+                f"- sink `{sink.get('sink', '?')}`: "
+                f"{sink.get('delivered', 0)} delivered, "
+                f"{sink.get('dropped', 0)} dropped, "
+                f"{sink.get('errors', 0)} errors"
+            )
+            if sink.get("path"):
+                line += f" -> {sink['path']}"
+            if sink.get("address"):
+                line += f" @ {sink['address']}"
+            out.append(line)
         out.append("")
         return "\n".join(out)
 

@@ -22,6 +22,7 @@ from repro.bench.chaos import ChaosPoint, ChaosResult, chaos_resilience, load_pl
 from repro.bench.codec import CodecPoint, CodecResult, codec_reduction
 from repro.bench.flow import FlowPoint, FlowResult, flow_attribution
 from repro.bench.metrics import MetricsPoint, MetricsResult, metrics_timeline
+from repro.bench.obs import ObsResult, obs_roundtrip
 from repro.bench.selfperf import SelfPerfPoint, SelfPerfResult, selfperf_sweep
 from repro.bench.steering import (
     SteeringBenchPoint,
@@ -66,6 +67,8 @@ __all__ = [
     "MetricsPoint",
     "MetricsResult",
     "metrics_timeline",
+    "ObsResult",
+    "obs_roundtrip",
     "SelfPerfPoint",
     "SelfPerfResult",
     "selfperf_sweep",

@@ -14,6 +14,7 @@ Usage::
     python -m repro.bench codec
     python -m repro.bench flow
     python -m repro.bench metrics
+    python -m repro.bench obs
     python -m repro.bench selfperf
     python -m repro.bench steering
     python -m repro.bench all
@@ -66,6 +67,7 @@ from repro.bench import (
     fig18_density,
     fs_comparison_table,
     metrics_timeline,
+    obs_roundtrip,
     selfperf_sweep,
     steering_adaptation,
     trace_size_table,
@@ -88,6 +90,7 @@ _DRIVERS = {
     "codec": codec_reduction,
     "flow": flow_attribution,
     "metrics": metrics_timeline,
+    "obs": obs_roundtrip,
     "selfperf": selfperf_sweep,
     "steering": steering_adaptation,
 }
@@ -248,6 +251,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["plan"] = args.chaos
         if name == "metrics" and args.json:
             kwargs["ndjson_dir"] = str(outdir)
+        if name == "obs" and args.json:
+            kwargs["ndjson_dir"] = str(outdir)
         if name == "selfperf" and args.json:
             kwargs["trace_dir"] = str(outdir)
         if name == "steering" and args.json:
@@ -288,6 +293,9 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"[{name}: Chrome trace -> {trace_path}]")
             if name == "selfperf":
                 payload["hostprof"] = result.profile
+                payload["overhead_ratio"] = result.overhead_ratio
+            if name == "obs":
+                payload["bus"] = result.bus
                 payload["overhead_ratio"] = result.overhead_ratio
             if hotspots is not None:
                 payload["profile"] = hotspots

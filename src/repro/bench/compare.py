@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ConfigError
+from repro.obs.registry import REGISTRY
 
 #: column-name fragments implying "bigger is better"
 _HIGHER_BETTER = (
@@ -169,6 +170,38 @@ def _environment_warnings(
     return warnings
 
 
+def _schema_warnings(baseline: dict[str, Any]) -> list[str]:
+    """Baseline records stamped with schema tags the registry no longer knows.
+
+    A baseline artefact may embed observability records (the obs lane's
+    per-schema counts, hostprof summaries, ...).  If one carries a
+    ``schema`` tag that has since been dropped or bumped, the comparison
+    is likely stale rather than regressed — warn, never fail, and let the
+    owner re-record the baseline.  Only version-shaped tags
+    (``family/version``) are considered; other ``"schema"`` keys are not
+    record tags.
+    """
+    unknown: set[str] = set()
+
+    def walk(node: Any) -> None:
+        if isinstance(node, dict):
+            tag = node.get("schema")
+            if isinstance(tag, str) and "/" in tag and tag not in REGISTRY:
+                unknown.add(tag)
+            for value in node.values():
+                walk(value)
+        elif isinstance(node, list):
+            for value in node:
+                walk(value)
+
+    walk(baseline)
+    return [
+        f"baseline carries schema tag {tag!r} unknown to the current "
+        "registry (stale baseline? re-record it)"
+        for tag in sorted(unknown)
+    ]
+
+
 def compare_bench(
     baseline: dict[str, Any],
     candidate: dict[str, Any],
@@ -199,6 +232,7 @@ def compare_bench(
         )
         return cmp
     cmp.warnings.extend(_environment_warnings(baseline, candidate))
+    cmp.warnings.extend(_schema_warnings(baseline))
 
     b_cols, c_cols = list(baseline["columns"]), list(candidate["columns"])
     missing = [c for c in b_cols if c not in c_cols]

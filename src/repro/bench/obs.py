@@ -1,0 +1,231 @@
+"""Obs bench: gate the unified observability bus against its own cost.
+
+Runs the fig14-style coupled workload (an instrumented SP kernel streaming
+into the analyzer partition) with every observation plane enabled — health
+monitor, POP metrics with the legacy NDJSON stream, steering, provenance —
+twice: once without the bus (hub-off) and once with the bus publishing to
+a file sink plus an in-memory ring (hub-on).  The lane self-gates before
+it reports anything:
+
+* **bit-identity** — the hub-on run's simulation fingerprint (walltimes,
+  event/pack counts, analyzer byte totals) must equal the hub-off run's:
+  the bus observes, it never perturbs;
+* **byte-identity** — the bus file sink's records of the POP metrics
+  schema must be byte-for-byte the legacy
+  :class:`~repro.telemetry.stream_export.MetricsStreamWriter` stream;
+* **count self-consistency** — the bus's per-schema record counts must
+  match each plane's own totals (telemetry records, monitor alerts,
+  steering decisions, metrics stream lines);
+* **host overhead** — paired hub-off/hub-on runs, best-of-N minimum pair
+  ratio below ``overhead_budget`` (default 5%), the same
+  noise-robust gate the selfperf lane uses.
+
+Any gate failure raises :class:`~repro.errors.ConfigError`, so *running
+the lane is the test*.  ``ndjson_dir`` (set by ``--json``) keeps the
+hub-on run's unified stream as ``BENCH_obs.ndjson`` — the CI artefact a
+release can be audited from with ``python -m repro.obs query``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.apps.nas import SP
+from repro.core.session import CouplingSession
+from repro.errors import ConfigError
+from repro.network.machine import MachineSpec, TERA100
+from repro.obs.registry import (
+    HEALTH_SCHEMA,
+    METRICS_SCHEMA,
+    STEERING_SCHEMA,
+    TELEMETRY_SCHEMA,
+)
+from repro.telemetry import Telemetry, hostprof
+from repro.telemetry.export import jsonl_records
+from repro.telemetry.popmetrics import PopConfig
+from repro.util.tables import Table
+
+#: name of the unified NDJSON artefact kept under ``--json``
+ARTIFACT_NAME = "BENCH_obs.ndjson"
+
+
+def _workload(scale: str) -> SP:
+    if scale == "paper":
+        return SP(64, "C", iterations=3)
+    if scale == "small":
+        return SP(16, "C", iterations=3)
+    raise ConfigError(f"unknown scale {scale!r}")
+
+
+@dataclass
+class ObsResult:
+    """Per-schema round-trip accounting of one gated bus run."""
+
+    machine: str
+    scale: str
+    seed: int
+    host: dict[str, Any]
+    overhead_budget: float
+    overhead_ratio: float | None = None
+    #: ``ObservabilityBus.summary()`` of the gating hub-on run
+    bus: dict[str, Any] | None = None
+    #: ``(schema, kinds, records, plane_records)`` per published schema
+    points: list[tuple[str, int, int, int]] = field(default_factory=list)
+
+    def table(self) -> Table:
+        t = Table(
+            ["schema", "kinds", "bus_records", "plane_records"],
+            title=(
+                f"Observability bus round-trip ({self.machine}, "
+                f"scale={self.scale}, seed={self.seed})"
+            ),
+        )
+        for schema, kinds, records, plane in self.points:
+            t.add_row(schema, kinds, records, plane)
+        return t
+
+
+def _run_once(
+    scale: str,
+    machine: MachineSpec,
+    seed: int,
+    workdir: Path,
+    tag: str,
+    with_bus: bool,
+):
+    """One fully observed coupled run; hub on or off is the only difference."""
+    session = CouplingSession(machine=machine, seed=seed, telemetry=Telemetry())
+    name = session.add_application(_workload(scale))
+    session.set_analyzer(ratio=4.0)
+    session.enable_monitor()
+    legacy = workdir / f"pop_{tag}.ndjson"
+    session.enable_pop_metrics(PopConfig(window=0.5), stream=str(legacy))
+    session.enable_steering()
+    session.enable_provenance()
+    unified = workdir / f"unified_{tag}.ndjson"
+    if with_bus:
+        session.enable_observability(str(unified))
+    t0 = hostprof.host_now()
+    run = session.run()
+    wall = hostprof.host_now() - t0
+    return session, run, run.app(name), wall, legacy, unified
+
+
+def _fingerprint(app, stats) -> tuple:
+    """The simulation outputs that must not move when the bus is on."""
+    return (
+        app.walltime, app.events, app.packs,
+        stats["packs"], stats["bytes"], stats["bytes_wire"],
+    )
+
+
+def _schema_total(bus_summary: dict[str, Any], schema: str) -> int:
+    return sum(bus_summary["schemas"].get(schema, {}).values())
+
+
+def obs_roundtrip(
+    scale: str = "small",
+    machine: MachineSpec = TERA100,
+    seed: int = 0,
+    telemetry: Telemetry | None = None,
+    overhead_budget: float = 0.05,
+    repeats: int = 5,
+    ndjson_dir: str | None = None,
+) -> ObsResult:
+    """Round-trip every plane through the bus; self-gate identity and cost.
+
+    ``telemetry`` (the driver's ``--telemetry`` flag) is accepted for
+    driver uniformity but unused: the lane's paired runs each need a fresh
+    per-run :class:`Telemetry` so hub-on and hub-off observe identical,
+    independent pipelines.
+    """
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1, got {repeats}")
+    result = ObsResult(
+        machine=machine.name, scale=scale, seed=seed,
+        host=hostprof.host_environment(), overhead_budget=overhead_budget,
+    )
+    with tempfile.TemporaryDirectory(prefix="bench_obs_") as tmp:
+        workdir = Path(tmp)
+
+        # -- gate 1: bit-identity, hub off vs on -------------------------------
+        _, ref_run, ref_app, _, ref_legacy, _ = _run_once(
+            scale, machine, seed, workdir, "off", with_bus=False
+        )
+        session, run, app, _, legacy, unified = _run_once(
+            scale, machine, seed, workdir, "on", with_bus=True
+        )
+        ref_fp = _fingerprint(ref_app, ref_run.analyzer_stats)
+        fp = _fingerprint(app, run.analyzer_stats)
+        if fp != ref_fp:
+            raise ConfigError(
+                f"observability bus perturbed the simulation: {ref_fp} -> {fp}"
+            )
+
+        # -- gate 2: byte-identity of the POP stream ---------------------------
+        legacy_bytes = ref_legacy.read_bytes()
+        if legacy.read_bytes() != legacy_bytes:
+            raise ConfigError("legacy POP stream differs between paired runs")
+        bus_metric_lines = b"".join(
+            line
+            for line in unified.read_bytes().splitlines(keepends=True)
+            if json.loads(line).get("schema") == METRICS_SCHEMA
+        )
+        if bus_metric_lines != legacy_bytes:
+            raise ConfigError(
+                "bus file sink is not byte-identical to the legacy POP "
+                f"stream ({len(bus_metric_lines)} vs {len(legacy_bytes)} bytes)"
+            )
+
+        # -- gate 3: per-plane count self-consistency --------------------------
+        summary = run.obs
+        if summary is None or summary["rejected"]:
+            raise ConfigError(f"bus rejected records: {summary}")
+        plane_totals = {
+            TELEMETRY_SCHEMA: len(jsonl_records(session.telemetry)),
+            METRICS_SCHEMA: len(legacy_bytes.splitlines()),
+            HEALTH_SCHEMA: len(session.monitor.alerts),
+            STEERING_SCHEMA: len(session.steering.decisions),
+        }
+        for schema, expected in sorted(plane_totals.items()):
+            got = _schema_total(summary, schema)
+            if got != expected:
+                raise ConfigError(
+                    f"bus count for {schema} is {got}, but the plane "
+                    f"recorded {expected}"
+                )
+            result.points.append(
+                (schema, len(summary["schemas"].get(schema, {})), got, expected)
+            )
+        result.bus = summary
+
+        # -- gate 4: host overhead, best-of-N paired runs ----------------------
+        # Same rationale as the selfperf lane: ~second-long runs swing with
+        # scheduler noise, so each hub-off run is paired with an adjacent
+        # hub-on run and the gate takes the minimum pair ratio.
+        ratios = []
+        for i in range(repeats):
+            off_s = _run_once(
+                scale, machine, seed, workdir, f"off{i}", with_bus=False
+            )[3]
+            on_s = _run_once(
+                scale, machine, seed, workdir, f"on{i}", with_bus=True
+            )[3]
+            ratios.append(on_s / off_s - 1.0)
+        result.overhead_ratio = min(ratios)
+        if result.overhead_ratio > overhead_budget:
+            raise ConfigError(
+                f"observability bus overhead {result.overhead_ratio:+.2%} "
+                f"exceeds the {overhead_budget:.0%} budget (pair ratios: "
+                + ", ".join(f"{r:+.2%}" for r in ratios) + ")"
+            )
+
+        if ndjson_dir is not None:
+            outdir = Path(ndjson_dir)
+            outdir.mkdir(parents=True, exist_ok=True)
+            (outdir / ARTIFACT_NAME).write_bytes(unified.read_bytes())
+    return result

@@ -29,8 +29,19 @@ from repro.instrument.overhead import InstrumentationCost
 from repro.mpi.world import World
 from repro.network.machine import MachineSpec, TERA100
 from repro.analysis.alerts import AlertRouter
+from repro.obs.bus import ObservabilityBus
+from repro.obs.registry import (
+    HEALTH_SCHEMA,
+    METRICS_SCHEMA,
+    REGISTRY,
+    STEERING_SCHEMA,
+    make_record,
+)
+from repro.obs.sinks import FileSink, RingSink, TailServer
 from repro.steering import SteeringController, SteeringPolicy
 from repro.telemetry import FlowRegistry, NULL_TELEMETRY, Telemetry
+from repro.telemetry import hostprof as _hostprof
+from repro.telemetry.export import jsonl_records as _telemetry_records
 from repro.telemetry.monitor import HealthMonitor, MonitorConfig
 from repro.telemetry.popmetrics import PopConfig, PopMetricsEngine
 from repro.telemetry.stream_export import MetricsStreamWriter
@@ -92,6 +103,9 @@ class SessionResult:
     #: ``SteeringController.summary()`` when adaptive steering was enabled:
     #: the policy, the decision journal, and the final actuator state.
     steering: dict[str, Any] | None = None
+    #: ``ObservabilityBus.summary()`` when the unified observability bus
+    #: was enabled: per-schema record counts and per-sink delivery stats.
+    obs: dict[str, Any] | None = None
 
     def app(self, name: str) -> AppRun:
         try:
@@ -131,6 +145,9 @@ class CouplingSession:
         self._pop: PopMetricsEngine | None = None
         self._pop_writer: MetricsStreamWriter | None = None
         self._steering: SteeringController | None = None
+        self._obs: ObservabilityBus | None = None
+        self._obs_ring: RingSink | None = None
+        self._obs_tail: TailServer | None = None
 
     # -- configuration ------------------------------------------------------------
 
@@ -283,6 +300,63 @@ class CouplingSession:
     def steering(self) -> SteeringController | None:
         return self._steering
 
+    def enable_observability(
+        self,
+        path: str | None = None,
+        *,
+        ring: int | None = 1024,
+        tail: str | None = None,
+    ) -> ObservabilityBus:
+        """Attach the unified observability bus to the upcoming run.
+
+        Every enabled plane publishes its schema-tagged records onto one
+        :class:`~repro.obs.bus.ObservabilityBus`: POP metric windows,
+        phases and the run summary *as they seal*, health alerts and
+        steering decisions *as they fire*, and the telemetry/hostprof
+        record dumps at teardown.  Sinks:
+
+        * ``path`` — an NDJSON :class:`~repro.obs.sinks.FileSink` whose
+          byte stream for any single schema is identical to that plane's
+          legacy exporter;
+        * ``ring`` — a bounded in-memory :class:`~repro.obs.sinks.RingSink`
+          (None disables it) left queryable after the run via
+          :attr:`obs_ring`;
+        * ``tail`` — a :class:`~repro.obs.sinks.TailServer` live-feed
+          address (``HOST:PORT``, ``:0`` for an ephemeral port, or a Unix
+          socket path), resolved address at :attr:`obs_tail`.
+
+        The bus is observation-only: it taps existing observation planes
+        and never schedules events, so a run with the bus enabled is
+        bit-identical to the same run without it.  After :meth:`run`,
+        :attr:`SessionResult.obs` and the report's "Observability" section
+        carry the bus summary.
+        """
+        if self._obs is not None:
+            raise ConfigError("observability bus already enabled for this session")
+        bus = ObservabilityBus()
+        if path is not None:
+            bus.add_sink(FileSink(path), name="file")
+        if ring is not None:
+            self._obs_ring = RingSink(ring)
+            bus.add_sink(self._obs_ring, name="ring")
+        if tail is not None:
+            self._obs_tail = TailServer(tail)
+            bus.add_sink(self._obs_tail, name="tail")
+        self._obs = bus
+        return bus
+
+    @property
+    def obs(self) -> ObservabilityBus | None:
+        return self._obs
+
+    @property
+    def obs_ring(self) -> RingSink | None:
+        return self._obs_ring
+
+    @property
+    def obs_tail(self) -> TailServer | None:
+        return self._obs_tail
+
     def enable_provenance(self, sample_rate: float = 1.0) -> FlowRegistry:
         """Trace causal pack flows through the upcoming run.
 
@@ -333,6 +407,50 @@ class CouplingSession:
             return self._analyzer_nprocs
         ratio = self._ratio if self._ratio is not None else 1.0
         return max(1, int(self.total_app_ranks // ratio))
+
+    # -- observability-bus taps ----------------------------------------------------
+
+    def _wire_obs_taps(self) -> None:
+        """Subscribe the bus to every live plane the session has enabled."""
+        bus = self._obs
+        if self._pop is not None:
+            self._pop.add_sink(_BusMetricsSink(bus))
+        if self._monitor is not None:
+            if self._monitor.router is None:
+                self._monitor.router = AlertRouter()
+            known = REGISTRY.kinds_for(HEALTH_SCHEMA)
+
+            def publish_alert(alert: Any) -> None:
+                d = (
+                    alert.as_dict()
+                    if hasattr(alert, "as_dict")
+                    else dataclasses.asdict(alert)
+                )
+                kind = d.pop("kind", None)
+                # Foreign alert kinds (a user's custom router traffic) are
+                # not the health plane's to publish — skip, don't crash.
+                if kind in known:
+                    bus.publish(make_record(HEALTH_SCHEMA, kind, **d))
+
+            self._monitor.router.subscribe(publish_alert)
+        if self._steering is not None:
+            self._steering.on_decision = lambda decision: bus.publish(
+                make_record(STEERING_SCHEMA, "decision", **decision.as_dict())
+            )
+
+    def _drain_obs(self, result_report: ProfileReport | None) -> dict[str, Any] | None:
+        """Publish the teardown planes, close the bus, return its summary."""
+        if self._obs is None:
+            return None
+        if self.telemetry.enabled:
+            self._obs.publish_all(_telemetry_records(self.telemetry))
+        if _hostprof.ACTIVE.enabled:
+            self._obs.publish_all(_hostprof.ACTIVE.jsonl_records())
+        summary = self._obs.summary()
+        self._obs.close()
+        if result_report is not None:
+            result_report.obs = summary
+        return summary
 
     # -- execution -----------------------------------------------------------------
 
@@ -388,6 +506,8 @@ class CouplingSession:
         if self._pop is not None:
             self._pop.bind_sources(instr_registry)
             self._pop.attach(world.kernel)
+        if self._obs is not None:
+            self._wire_obs_taps()
         world.run()
         if self._pop is not None:
             self._pop.finalize(world.kernel.now)
@@ -452,6 +572,7 @@ class CouplingSession:
             steering = self._steering.summary()
             if report is not None:
                 report.steering = steering
+        obs = self._drain_obs(report)
         attempted = sum(run.packs + run.packs_dropped for run in apps.values())
         analyzed = stats["packs"] if stats is not None else 0
         loss = 1.0 - analyzed / attempted if attempted > 0 else 0.0
@@ -472,6 +593,7 @@ class CouplingSession:
             reduction=reduction,
             efficiency=efficiency,
             steering=steering,
+            obs=obs,
         )
 
     def run_reference(self) -> SessionResult:
@@ -501,6 +623,27 @@ class CouplingSession:
             analyzer_stats=None,
             world=world,
         )
+
+
+class _BusMetricsSink:
+    """POP-engine sink republishing windows/phases onto the obs bus.
+
+    Builds the very same record dicts as
+    :class:`~repro.telemetry.stream_export.MetricsStreamWriter`, so a bus
+    file sink stays byte-identical to the legacy NDJSON stream.
+    """
+
+    def __init__(self, bus: ObservabilityBus):
+        self._bus = bus
+
+    def on_window(self, window: dict[str, Any]) -> None:
+        self._bus.publish(make_record(METRICS_SCHEMA, "window", **window))
+
+    def on_phase(self, phase: dict[str, Any]) -> None:
+        self._bus.publish(make_record(METRICS_SCHEMA, "phase", **phase))
+
+    def on_run_summary(self, summary: dict[str, Any]) -> None:
+        self._bus.publish(make_record(METRICS_SCHEMA, "run_summary", **summary))
 
 
 def _instrumented_main(mpi, kernel: AppKernel, cost: InstrumentationCost, registry: list):

@@ -34,7 +34,7 @@ bit-identical to one without steering.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import ConfigError
 from repro.steering.policy import (
@@ -91,6 +91,11 @@ class SteeringController:
     def __init__(self, policy: SteeringPolicy | None = None):
         self.policy = policy or SteeringPolicy()
         self.decisions: list[SteeringDecision] = []
+        #: optional live subscriber called with each SteeringDecision the
+        #: moment it is journaled (the observability bus taps this; the
+        #: decision's ``latency_after_s`` is still None at that point —
+        #: it is only measurable once later windows close).
+        self.on_decision: "Callable[[SteeringDecision], None] | None" = None
         #: modelled analyzer worker pool; the analysis CPU charge divides by
         #: this, and ``1`` (never scaled) leaves the charge untouched.
         self.analysis_workers = 1
@@ -368,6 +373,8 @@ class SteeringController:
             latency_before_s=self._mean_latency(upto=now),
         )
         self.decisions.append(decision)
+        if self.on_decision is not None:
+            self.on_decision(decision)
         tel = self._world.telemetry
         if tel.enabled:
             tel.counter("steering.decisions").inc()

@@ -19,13 +19,12 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Any
 
+from repro.obs.registry import TELEMETRY_SCHEMA, make_record
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.telemetry.core import Telemetry
 
 _US = 1e6  # trace-event timestamps are microseconds
-
-#: schema tag stamped on every JSONL telemetry record (bump on layout change)
-TELEMETRY_SCHEMA = "repro.telemetry/1"
 
 
 def chrome_trace_dict(tel: "Telemetry") -> dict[str, Any]:
@@ -155,55 +154,52 @@ def jsonl_records(tel: "Telemetry") -> list[dict[str, Any]]:
     """
     records: list[dict[str, Any]] = []
     for span in list(tel.spans) + tel.open_spans():
-        record = {
-            "schema": TELEMETRY_SCHEMA,
-            "kind": "span",
-            "name": span.name,
-            "cat": span.cat,
-            "pid": span.pid,
-            "t0": span.t0,
-            "t1": span.t1,
-            "args": span.args,
-        }
+        record = make_record(
+            TELEMETRY_SCHEMA,
+            "span",
+            name=span.name,
+            cat=span.cat,
+            pid=span.pid,
+            t0=span.t0,
+            t1=span.t1,
+            args=span.args,
+        )
         if span.t1 is None:
             record["unfinished"] = True
         records.append(record)
     for inst in tel.instants:
-        records.append({"schema": TELEMETRY_SCHEMA, "kind": "instant", **inst})
+        records.append(make_record(TELEMETRY_SCHEMA, "instant", **inst))
     for counter in tel.counters.values():
         records.append(
-            {
-                "schema": TELEMETRY_SCHEMA,
-                "kind": "counter",
-                "name": counter.name,
-                "value": counter.value,
-            }
+            make_record(
+                TELEMETRY_SCHEMA, "counter", name=counter.name, value=counter.value
+            )
         )
     for gauge in tel.gauges.values():
         records.append(
-            {
-                "schema": TELEMETRY_SCHEMA,
-                "kind": "gauge",
-                "name": gauge.name,
-                "pid": gauge.pid,
-                "last": gauge.value,
-                "max": gauge.max,
-                "samples": gauge.samples,
-            }
+            make_record(
+                TELEMETRY_SCHEMA,
+                "gauge",
+                name=gauge.name,
+                pid=gauge.pid,
+                last=gauge.value,
+                max=gauge.max,
+                samples=gauge.samples,
+            )
         )
     for histogram in tel.histograms.values():
         records.append(
-            {
-                "schema": TELEMETRY_SCHEMA,
-                "kind": "histogram",
-                "name": histogram.name,
+            make_record(
+                TELEMETRY_SCHEMA,
+                "histogram",
+                name=histogram.name,
                 **histogram.as_dict(),
-            }
+            )
         )
     registry = getattr(tel, "flows", None)
     if registry is not None:
         for flow in registry.records():
-            records.append({"schema": TELEMETRY_SCHEMA, "kind": "flow", **flow.as_dict()})
+            records.append(make_record(TELEMETRY_SCHEMA, "flow", **flow.as_dict()))
     return records
 
 

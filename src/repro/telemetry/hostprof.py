@@ -50,8 +50,7 @@ import tracemalloc
 from contextlib import contextmanager
 from typing import Any, Callable
 
-#: schema tag stamped on every hostprof export record (bump on layout change)
-HOSTPROF_SCHEMA = "repro.hostprof/1"
+from repro.obs.registry import HOSTPROF_SCHEMA, make_record
 
 #: Chrome-trace process row for host-time data — far beyond any simulated
 #: rank pid, so a host trace merged next to a virtual trace cannot collide.
@@ -405,36 +404,36 @@ class HostProfiler:
         """Self-describing one-object-per-line export (``jq``-friendly)."""
         base = self.t_start if self.t_start is not None else 0.0
         records: list[dict[str, Any]] = [
-            {
-                "schema": HOSTPROF_SCHEMA,
-                "kind": "meta",
-                "host": host_environment(),
-                "elapsed_s": self.elapsed_s,
-            }
+            make_record(
+                HOSTPROF_SCHEMA,
+                "meta",
+                host=host_environment(),
+                elapsed_s=self.elapsed_s,
+            )
         ]
         for name, timer in sorted(self.timers.items()):
             records.append(
-                {"schema": HOSTPROF_SCHEMA, "kind": "timer", "name": name, **timer.as_dict()}
+                make_record(HOSTPROF_SCHEMA, "timer", name=name, **timer.as_dict())
             )
         for name, value in sorted(self.counts.items()):
             records.append(
-                {"schema": HOSTPROF_SCHEMA, "kind": "count", "name": name, "value": value}
+                make_record(HOSTPROF_SCHEMA, "count", name=name, value=value)
             )
         for span in self.spans:
             t1 = span.t1 if span.t1 is not None else host_now()
             records.append(
-                {
-                    "schema": HOSTPROF_SCHEMA,
-                    "kind": "span",
-                    "name": span.name,
-                    "t0_s": span.t0 - base,
-                    "dur_s": t1 - span.t0,
-                    "args": span.args,
-                }
+                make_record(
+                    HOSTPROF_SCHEMA,
+                    "span",
+                    name=span.name,
+                    t0_s=span.t0 - base,
+                    dur_s=t1 - span.t0,
+                    args=span.args,
+                )
             )
         summary = self.summary()
-        records.append({"schema": HOSTPROF_SCHEMA, "kind": "gc", **summary["gc"]})
-        records.append({"schema": HOSTPROF_SCHEMA, "kind": "process", **summary["process"]})
+        records.append(make_record(HOSTPROF_SCHEMA, "gc", **summary["gc"]))
+        records.append(make_record(HOSTPROF_SCHEMA, "process", **summary["process"]))
         return records
 
     def write_jsonl(self, path: str) -> str:

@@ -24,12 +24,21 @@ import json
 from typing import IO, Any, Iterator
 
 from repro.errors import ConfigError
+from repro.obs.archive import iter_ndjson
+from repro.obs.registry import METRICS_KINDS, METRICS_SCHEMA, make_record
 
-#: schema tag stamped on every metrics-stream record (bump on layout change)
-METRICS_SCHEMA = "repro.pop-metrics/1"
+__all__ = [
+    "METRICS_SCHEMA",
+    "STREAM_KINDS",
+    "MetricsStreamWriter",
+    "iter_metrics_stream",
+    "read_metrics_stream",
+]
 
-#: record kinds a version-1 metrics stream may contain
+#: record kinds a version-1 metrics stream may contain (the authoritative
+#: set lives in the schema registry, :mod:`repro.obs.registry`)
 STREAM_KINDS = ("window", "phase", "run_summary")
+assert frozenset(STREAM_KINDS) == METRICS_KINDS
 
 
 class MetricsStreamWriter:
@@ -69,7 +78,7 @@ class MetricsStreamWriter:
     def _emit(self, kind: str, payload: dict[str, Any]) -> None:
         if self._closed:
             raise ConfigError("metrics stream writer is closed")
-        record = {"schema": METRICS_SCHEMA, "kind": kind, **payload}
+        record = make_record(METRICS_SCHEMA, kind, **payload)
         self._fh.write(json.dumps(record))
         self._fh.write("\n")
         self._fh.flush()
@@ -83,36 +92,43 @@ class MetricsStreamWriter:
             self._fh.close()
 
 
-def iter_metrics_stream(path: str) -> Iterator[dict[str, Any]]:
+def _validate_stream_record(path: str, offset: int, record: Any) -> dict[str, Any]:
+    schema = record.get("schema") if isinstance(record, dict) else None
+    if schema != METRICS_SCHEMA:
+        raise ConfigError(
+            f"{path}:+{offset}: schema {schema!r}, expected {METRICS_SCHEMA!r}"
+        )
+    if record.get("kind") not in STREAM_KINDS:
+        raise ConfigError(
+            f"{path}:+{offset}: unknown record kind {record.get('kind')!r}"
+        )
+    return record
+
+
+def iter_metrics_stream(
+    path: str, *, tail: bool = False, start: int = 0
+) -> Iterator[Any]:
     """Yield validated records from one NDJSON metrics stream.
 
     Raises :class:`ConfigError` on a record with a missing/foreign schema
     tag or an unknown kind — a tailing frontend should fail loudly rather
     than render garbage.  Blank lines (a partially flushed tail) are
     skipped.
+
+    With ``tail=False`` (the default) the file is treated as finished and
+    bare record dicts are yielded.  With ``tail=True`` the stream yields
+    ``(next_offset, record)`` pairs instead: ``next_offset`` is the byte
+    position to pass back as ``start`` to resume where this pass stopped,
+    and exactly one trailing *partial* line (torn mid-flush by the live
+    writer, no newline yet) ends the iteration silently instead of
+    raising.  A malformed line that is newline-terminated is mid-file
+    corruption and fails loudly in both modes.
     """
-    with open(path) as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ConfigError(
-                    f"{path}:{lineno}: not valid JSON: {exc}"
-                ) from exc
-            schema = record.get("schema")
-            if schema != METRICS_SCHEMA:
-                raise ConfigError(
-                    f"{path}:{lineno}: schema {schema!r}, "
-                    f"expected {METRICS_SCHEMA!r}"
-                )
-            if record.get("kind") not in STREAM_KINDS:
-                raise ConfigError(
-                    f"{path}:{lineno}: unknown record kind {record.get('kind')!r}"
-                )
-            yield record
+    prev = start
+    for offset, record in iter_ndjson(path, tail=tail, start=start):
+        _validate_stream_record(str(path), prev, record)
+        prev = offset
+        yield (offset, record) if tail else record
 
 
 def read_metrics_stream(path: str) -> list[dict[str, Any]]:
