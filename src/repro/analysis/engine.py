@@ -21,7 +21,13 @@ from typing import TYPE_CHECKING, Any
 
 from repro.codec.frame import CONTENT_HEADER_SIZE, parse_frame, peek_provenance
 from repro.codec.stages import build_chain, decode_chain
-from repro.errors import ConfigError, PackFormatError, ReproError, UnknownCodecError
+from repro.errors import (
+    ChecksumError,
+    ConfigError,
+    PackFormatError,
+    ReproError,
+    UnknownCodecError,
+)
 from repro.analysis.alerts import AlertMonitor
 from repro.analysis.density import DensityMaps
 from repro.analysis.latesender import LateSenderAnalysis
@@ -31,7 +37,7 @@ from repro.analysis.report import ApplicationReport, ProfileReport
 from repro.analysis.topology import CommMatrix
 from repro.analysis.waitstate import WaitState
 from repro.blackboard.multilevel import MultiLevelBlackboard
-from repro.instrument.packer import decode_pack
+from repro.instrument.packer import decode_pack, decode_pack_frame
 from repro.mpi.datatypes import ANY_SOURCE
 from repro.telemetry import NULL_TELEMETRY, Telemetry, hostprof, rank_pid
 from repro.telemetry.hostprof import host_now
@@ -176,7 +182,14 @@ class AnalyzerEngine:
 
         def unpack(b, entries):
             for entry in entries:
-                header, events = decode_pack(entry.payload)
+                # The ingest path threads the parsed frame along as entry
+                # meta, so a pack's wire bytes are walked exactly once;
+                # direct submitters without a rider fall back to a parse.
+                frame = entry.meta
+                if frame is not None:
+                    header, events = decode_pack_frame(frame)
+                else:
+                    header, events = decode_pack(entry.payload)
                 if tel.enabled:
                     tel.counter("analysis.packs_decoded").inc()
                 b.submit(events_id, (header.rank, events), size=events.nbytes)
@@ -200,7 +213,7 @@ class AnalyzerEngine:
 
     # -- ingestion --------------------------------------------------------------------
 
-    def ingest(self, pack_bytes: bytes) -> bool:
+    def ingest(self, pack_bytes: bytes, frame=None) -> bool:
         """Feed one pack and drain the pipeline inline (deterministic).
 
         The frame is verified first — structure, CRC, a decodable codec
@@ -208,11 +221,23 @@ class AnalyzerEngine:
         descriptor.  A failing pack is rejected and counted by cause,
         never submitted — the analysis pipeline keeps running on whatever
         arrives intact.  Returns False on rejection.
+
+        ``frame`` may carry the result of ``parse_frame(pack_bytes,
+        verify=False)`` a caller already holds; the checksum verdict is
+        then read off the frame's recorded CRC state instead of walking
+        the wire bytes a second time.
         """
         hp = hostprof.ACTIVE
         t_host = hp.now() if hp.enabled else 0.0
         try:
-            frame = parse_frame(pack_bytes)
+            if frame is None:
+                frame = parse_frame(pack_bytes)
+            elif frame.stored_crc is None:
+                raise ChecksumError("frame has no CRC section")
+            elif not frame.crc_ok:
+                raise ChecksumError(
+                    f"pack checksum mismatch: stored {frame.stored_crc:#010x}"
+                )
             decode_chain(frame.codec)
             accept = self.config.accept_codecs
             if accept is not None and frame.codec not in accept:
@@ -233,7 +258,7 @@ class AnalyzerEngine:
         # accounting, so storage stats are identical with and without
         # reduction or provenance enabled.
         content = frame.content_size
-        self.ml.submit_pack(pack_bytes, size=content)
+        self.ml.submit_pack(pack_bytes, size=content, meta=frame)
         self.ml.board.run_until_idle()
         self.packs_ingested += 1
         self.bytes_ingested += content
@@ -403,7 +428,9 @@ def analyzer_program(
             frame = parse_frame(payload, verify=False)
             spec = frame.codec
         except PackFormatError:
-            spec = ""  # damaged frame; ingest below rejects and accounts it
+            # Damaged frame; ingest below re-parses, rejects and accounts it.
+            frame = None
+            spec = ""
         if spec:
             raw_bytes = max(0, frame.content_size - CONTENT_HEADER_SIZE)
             try:
@@ -422,7 +449,10 @@ def analyzer_program(
         if steering is not None and steering.analysis_workers != 1:
             cost /= steering.analysis_workers
         yield from mpi.compute(cost)
-        ok = engine.ingest(payload)
+        # The verify=False parse above is the pack's only format walk: the
+        # engine checks the recorded CRC verdict and threads the frame all
+        # the way to the unpacker knowledge source.
+        ok = engine.ingest(payload, frame=frame)
         if prov is not None:
             if ok:
                 flows.on_done(prov.flow_id, mpi.ctx.kernel.now)

@@ -196,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="COLUMN=FLOAT",
         help="per-column tolerance override; repeatable",
     )
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full diff (deltas, ratios, host-env warnings) as "
+        "JSON on stdout instead of the text report",
+    )
     return parser
 
 
@@ -223,7 +229,10 @@ def _compare_main(args: argparse.Namespace) -> int:
         tolerance=args.tolerance,
         per_metric=_parse_metric_tolerances(args.metric_tolerance),
     )
-    print(comparison.render())
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(comparison.render())
     return 0 if comparison.ok else 1
 
 

@@ -30,7 +30,7 @@ _HIGHER_BETTER = (
 #: column-name fragments implying "smaller is better"
 _LOWER_BETTER = (
     "overhead", "walltime", "time", "stall", "volume", "size", "bytes",
-    "elapsed", "latency", "slowdown",
+    "elapsed", "latency", "slowdown", "allocs",
 )
 
 #: columns never compared (host-dependent wall-clock noise)
@@ -95,12 +95,29 @@ class MetricDelta:
     tolerance: float
     status: str  # "ok" | "improved" | "regressed"
 
+    @property
+    def ratio(self) -> float | None:
+        """Candidate-over-baseline ratio — the speedup/slowdown factor.
+
+        ``None`` for textual cells and zero baselines, where a ratio is
+        meaningless; direction is *not* folded in, so a 2.0 on a
+        higher-better column is a 2x speedup while on a lower-better
+        column it is a 2x slowdown.
+        """
+        b_num, c_num = _as_float(self.baseline), _as_float(self.candidate)
+        if b_num is None or c_num is None or b_num == 0.0:
+            return None
+        return c_num / b_num
+
     def describe(self) -> str:
         arrow = {"ok": "=", "improved": "+", "regressed": "!"}[self.status]
+        ratio = self.ratio
+        times = f", x{ratio:.2f}" if ratio is not None else ""
         return (
             f"[{arrow}] row {self.row} ({self.row_label}) {self.column}: "
             f"{self.baseline} -> {self.candidate} "
-            f"({self.rel_delta:+.2%}, tol {self.tolerance:.2%}, {self.direction}-better)"
+            f"({self.rel_delta:+.2%}{times}, tol {self.tolerance:.2%}, "
+            f"{self.direction}-better)"
         )
 
 
@@ -125,6 +142,38 @@ class BenchComparison:
     @property
     def ok(self) -> bool:
         return not self.regressions and not self.structural
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable diff for ``bench compare --json``.
+
+        Carries everything ``render()`` prints — including the host-env
+        mismatch ``warnings`` — plus every cell's ratio, so dashboards
+        can chart speedups without re-deriving them.
+        """
+        return {
+            "experiment": self.experiment,
+            "ok": self.ok,
+            "structural": list(self.structural),
+            "warnings": list(self.warnings),
+            "cells_compared": len(self.deltas),
+            "improved": len(self.improvements),
+            "regressed": len(self.regressions),
+            "deltas": [
+                {
+                    "row": d.row,
+                    "row_label": d.row_label,
+                    "column": d.column,
+                    "direction": d.direction,
+                    "baseline": d.baseline,
+                    "candidate": d.candidate,
+                    "rel_delta": d.rel_delta,
+                    "ratio": d.ratio,
+                    "tolerance": d.tolerance,
+                    "status": d.status,
+                }
+                for d in self.deltas
+            ],
+        }
 
     def render(self) -> str:
         lines = [f"bench compare: {self.experiment}"]

@@ -17,7 +17,11 @@ pure-Python simulator spends per wall-clock second, hot path by hot path:
 
 One row per reduction chain, so ``BENCH_selfperf.json`` doubles as the
 hotspot-attribution document: which layer bounds a figure sweep, and how
-each chain shifts the balance.  Deterministic columns (events, packs)
+each chain shifts the balance.  Next to the throughputs each row carries
+four ``*_allocs`` columns — timing-free tracemalloc probes counting the
+allocation blocks each hot lane pins per fixed unit of work (pending
+events, packed records, parsed frames) — so an alloc-per-event
+regression is caught even on a noisy runner.  Deterministic columns (events, packs)
 gate tight in CI; throughput columns gate with generous per-metric
 tolerances because CI runners are slower than dev boxes — the *ratio*
 gates below are the real self-checks:
@@ -34,10 +38,20 @@ plain ``python -m repro.bench selfperf`` run is itself the test.
 
 from __future__ import annotations
 
+import gc
+import tracemalloc
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+import repro.codec.frame as _frame_mod
+import repro.codec.stages as _stages_mod
+import repro.instrument.interceptor as _interceptor_mod
+import repro.instrument.packer as _packer_mod
+import repro.simt.kernel as _kernel_mod
+import repro.simt.primitives as _primitives_mod
+import repro.simt.process as _process_mod
+import repro.vmpi.stream as _stream_mod
 from repro.apps.nas import SP
 from repro.core.session import CouplingSession
 from repro.errors import ConfigError
@@ -57,6 +71,18 @@ _CODEC_TIMERS = ("codec.encode", "codec.decode")
 #: timers summed into the EVF2 framing throughput
 _FRAME_TIMERS = ("frame.parse", "frame.emit")
 
+#: source files attributed to each hot-path lane by the allocation probes
+_ALLOC_LANES = {
+    "kernel_allocs": (
+        _kernel_mod.__file__, _process_mod.__file__, _primitives_mod.__file__,
+    ),
+    "stream_allocs": (
+        _stream_mod.__file__, _packer_mod.__file__, _interceptor_mod.__file__,
+    ),
+    "codec_allocs": (_stages_mod.__file__,),
+    "frame_allocs": (_frame_mod.__file__,),
+}
+
 
 @dataclass
 class SelfPerfPoint:
@@ -69,6 +95,12 @@ class SelfPerfPoint:
     stream_mb_per_s: float
     codec_mb_per_s: float
     frame_mb_per_s: float
+    #: per-lane allocation blocks retained by the deterministic probes
+    #: (see _lane_alloc_counts); no timing involved, so they gate tight
+    kernel_allocs: int
+    stream_allocs: int
+    codec_allocs: int
+    frame_allocs: int
     #: host wall seconds for the profiled run (never gated: pure noise)
     elapsed_s: float
 
@@ -95,7 +127,8 @@ class SelfPerfResult:
             [
                 "chain", "events", "packs", "kernel_events_per_s",
                 "stream_mb_per_s", "codec_mb_per_s", "frame_mb_per_s",
-                "elapsed_s",
+                "kernel_allocs", "stream_allocs", "codec_allocs",
+                "frame_allocs", "elapsed_s",
             ],
             title=(
                 f"Simulator self-performance ({self.machine}, "
@@ -108,7 +141,8 @@ class SelfPerfResult:
                 p.chain or "identity", p.events, p.packs,
                 f"{p.kernel_events_per_s:.0f}", f"{p.stream_mb_per_s:.3f}",
                 f"{p.codec_mb_per_s:.3f}", f"{p.frame_mb_per_s:.3f}",
-                f"{p.elapsed_s:.4f}",
+                p.kernel_allocs, p.stream_allocs, p.codec_allocs,
+                p.frame_allocs, f"{p.elapsed_s:.4f}",
             )
         return t
 
@@ -166,6 +200,102 @@ def _fingerprint(app, stats) -> tuple:
         app.walltime, app.events, app.packs,
         stats["packs"], stats["bytes"], stats["bytes_wire"],
     )
+
+
+# -- allocation probes ------------------------------------------------------------
+#
+# Throughput columns are host-speed-dependent and gate loosely; the alloc
+# columns are their timing-free complement.  Each probe drives a fixed
+# working set through one hot layer and *holds it live* across the closing
+# tracemalloc snapshot, so the count is the number of allocation blocks
+# the layer pins per unit of work — exactly the figure the slotted-event /
+# preallocated-buffer / zero-copy work drives down, and deterministic for
+# a given interpreter.
+
+_PROBE_EVENTS = 256  # pending events held by the kernel probe
+_PROBE_RECORDS = 64  # records packed by the stream probe
+_PROBE_FRAMES = 32  # frames parsed and held by the frame probe
+
+
+def _probe_kernel(hold: list) -> None:
+    kernel = _kernel_mod.Kernel()
+    for i in range(_PROBE_EVENTS):
+        kernel.timeout(float(i))
+    hold.append(kernel)
+
+
+def _probe_stream(chain: str, hold: list) -> None:
+    from repro.codec.stages import build_chain
+    from repro.mpi.pmpi import CallRecord
+
+    builder = _packer_mod.EventPackBuilder(
+        app_id=0,
+        rank=0,
+        capacity_bytes=16 + 40 * _PROBE_RECORDS,
+        chain=build_chain(chain) if chain else None,
+    )
+    record = CallRecord("MPI_Send", 0.0, 1e-6, 0, 0, 4, 1, 7, 1024)
+    for _ in range(_PROBE_RECORDS):
+        builder.add(record)
+    hold.append(builder)
+
+
+def _probe_codec(chain: str, hold: list) -> None:
+    if not chain:
+        return  # identity: no chain runs, no stage allocations
+    from repro.codec.stages import build_chain
+
+    encoder = build_chain(chain)
+    records = bytes(40 * _PROBE_RECORDS)
+    hold.append(encoder.encode(records, now=0.0))
+
+
+def _probe_frame(hold: list) -> None:
+    blob = _frame_mod.build_frame(
+        0, 0, _PROBE_RECORDS, bytes(40 * _PROBE_RECORDS), codec="delta"
+    )
+    hold.append([_frame_mod.parse_frame(blob) for _ in range(_PROBE_FRAMES)])
+    hold.append(blob)
+
+
+def _alloc_blocks(files: tuple[str, ...], fn) -> int:
+    """Live allocation blocks attributable to ``files`` after ``fn(hold)``."""
+    # Untracked warm-up pass: first-call caches (struct tables, codec
+    # registries, interned codec specs) allocate once per process and
+    # would otherwise show up only in cold runs, making the counts
+    # depend on what ran before the probe.
+    warm: list = []
+    fn(warm)
+    warm.clear()
+    hold: list = []
+    gc.collect()
+    tracemalloc.start(1)
+    try:
+        fn(hold)
+        gc.collect()
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    snapshot = snapshot.filter_traces(
+        [tracemalloc.Filter(True, fname) for fname in files]
+    )
+    count = sum(stat.count for stat in snapshot.statistics("filename"))
+    hold.clear()
+    return count
+
+
+def _lane_alloc_counts(chain: str) -> dict[str, int]:
+    """Tracemalloc block deltas of the four hot-path lanes for one chain."""
+    return {
+        "kernel_allocs": _alloc_blocks(_ALLOC_LANES["kernel_allocs"], _probe_kernel),
+        "stream_allocs": _alloc_blocks(
+            _ALLOC_LANES["stream_allocs"], lambda hold: _probe_stream(chain, hold)
+        ),
+        "codec_allocs": _alloc_blocks(
+            _ALLOC_LANES["codec_allocs"], lambda hold: _probe_codec(chain, hold)
+        ),
+        "frame_allocs": _alloc_blocks(_ALLOC_LANES["frame_allocs"], _probe_frame),
+    }
 
 
 def selfperf_sweep(
@@ -238,6 +368,7 @@ def selfperf_sweep(
                 f"chain {chain!r}: kernel dispatch timer never fired "
                 "(hostprof wiring broken?)"
             )
+        allocs = _lane_alloc_counts(chain)
         result.points.append(
             SelfPerfPoint(
                 chain=chain,
@@ -247,6 +378,10 @@ def selfperf_sweep(
                 stream_mb_per_s=_throughput(profiler, _STREAM_TIMERS),
                 codec_mb_per_s=_throughput(profiler, _CODEC_TIMERS),
                 frame_mb_per_s=_throughput(profiler, _FRAME_TIMERS),
+                kernel_allocs=allocs["kernel_allocs"],
+                stream_allocs=allocs["stream_allocs"],
+                codec_allocs=allocs["codec_allocs"],
+                frame_allocs=allocs["frame_allocs"],
                 elapsed_s=profiler.elapsed_s,
             )
         )

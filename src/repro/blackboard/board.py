@@ -86,15 +86,25 @@ class Blackboard:
 
     # -- submission (the control system) ---------------------------------------------
 
-    def submit(self, type_id: int, payload: Any, size: int | None = None) -> DataEntry:
-        """Push a data entry; triggers sensitive knowledge sources."""
+    def submit(
+        self,
+        type_id: int,
+        payload: Any,
+        size: int | None = None,
+        meta: Any = None,
+    ) -> DataEntry:
+        """Push a data entry; triggers sensitive knowledge sources.
+
+        ``meta`` rides along on the entry (see :class:`DataEntry`); the
+        blackboard itself never reads it.
+        """
         if not self.types.known(type_id):
             raise UnknownTypeError(f"submit of unregistered type {type_id:#x}")
         hp = hostprof.ACTIVE
         t_host = hp.now() if hp.enabled else 0.0
         if size is None:
             size = len(payload) if hasattr(payload, "__len__") else 0
-        entry = DataEntry(type_id, size, payload)
+        entry = DataEntry(type_id, size, payload, meta)
         with self._stats_lock:
             self.entries_submitted += 1
             self.bytes_current += size
@@ -111,12 +121,14 @@ class Blackboard:
                 jobs.append(Job(ks=ks, entries=complete))
         # The submitter's own reference is dropped once fan-out is done.
         self._release_entry(entry)
-        for job in jobs:
+        if jobs:
             if self.telemetry.enabled:
-                job.t_submitted = self.telemetry.now()
+                t_sub = self.telemetry.now()
+                for job in jobs:
+                    job.t_submitted = t_sub
             with self._idle:
-                self._in_flight += 1
-            self.queues.push(job)
+                self._in_flight += len(jobs)
+            self.queues.push_many(jobs)
         if hp.enabled:
             # Control-system scheduling cost: fan-out + FIFO pushes.
             hp.timer("blackboard.submit").add(

@@ -75,9 +75,9 @@ class DataEntry:
     buffer is released (payload dropped) when the count reaches zero.
     """
 
-    __slots__ = ("type_id", "size", "_payload", "_refs", "_lock", "freed")
+    __slots__ = ("type_id", "size", "_payload", "_refs", "_lock", "freed", "meta")
 
-    def __init__(self, type_id: int, size: int, payload: Any):
+    def __init__(self, type_id: int, size: int, payload: Any, meta: Any = None):
         if size < 0:
             raise BlackboardError(f"negative entry size: {size}")
         self.type_id = type_id
@@ -86,6 +86,11 @@ class DataEntry:
         self._refs = 1
         self._lock = threading.Lock()
         self.freed = False
+        # Optional decoded rider travelling with the payload (e.g. the
+        # already-parsed Frame of an event pack), so downstream knowledge
+        # sources never re-parse wire bytes the submitter has parsed.
+        # Purely advisory: consumers must handle ``None``.
+        self.meta = meta
 
     @property
     def payload(self) -> Any:

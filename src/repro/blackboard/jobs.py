@@ -21,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.blackboard.ks import KnowledgeSource
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """A ready-to-run couple ``{{data entries}, operation}``."""
 
@@ -51,11 +51,23 @@ class JobQueues:
 
     def push(self, job: Job) -> None:
         """Push to a random FIFO (contention spreading)."""
+        self.push_many((job,))
+
+    def push_many(self, jobs) -> None:
+        """Push a batch of jobs with one placement draw and one lock hold.
+
+        All jobs of a batch land on the same random FIFO in order; the
+        pushed/high-water-mark/telemetry accounting is settled once per
+        batch instead of once per job, which is what keeps control-system
+        overhead proportional to packs rather than fan-out width.
+        """
+        if not jobs:
+            return
         with self._rng_lock:
             idx = self._rng.randrange(self.nqueues)
         with self._locks[idx]:
-            self._queues[idx].append(job)
-        self.pushed += 1
+            self._queues[idx].extend(jobs)
+        self.pushed += len(jobs)
         depth = len(self)
         if depth > self.depth_hwm:
             self.depth_hwm = depth

@@ -74,9 +74,13 @@ class MultiLevelBlackboard:
             for level in self.levels
         ]
 
-    def submit_pack(self, payload, size: int | None = None) -> None:
-        """Push an undispatched event pack (as read from a stream)."""
-        self.board.submit(self._inbox_id, payload, size)
+    def submit_pack(self, payload, size: int | None = None, meta=None) -> None:
+        """Push an undispatched event pack (as read from a stream).
+
+        ``meta`` may carry the pack's already-parsed frame; the dispatcher
+        forwards it to the level entry so the unpacker never re-parses.
+        """
+        self.board.submit(self._inbox_id, payload, size, meta=meta)
 
     # -- the dispatcher KS ---------------------------------------------------------------
 
@@ -84,7 +88,9 @@ class MultiLevelBlackboard:
         for entry in entries:
             level = self._classify(entry)
             self._check_level(level)
-            board.submit(self._level_pack_ids[level], entry.payload, entry.size)
+            board.submit(
+                self._level_pack_ids[level], entry.payload, entry.size, meta=entry.meta
+            )
             self.dispatched[level] += 1
 
     def _check_level(self, level: str) -> None:
@@ -102,11 +108,12 @@ def _classify_by_app_id(levels: list[str]) -> Callable[[DataEntry], str]:
     from repro.codec.frame import peek_header
 
     def classify(entry: DataEntry) -> str:
-        info = peek_header(entry.payload)
-        if info.app_id >= len(levels):
+        frame = entry.meta
+        app_id = frame.app_id if frame is not None else peek_header(entry.payload).app_id
+        if app_id >= len(levels):
             raise BlackboardError(
-                f"pack app_id {info.app_id} has no level (have {len(levels)})"
+                f"pack app_id {app_id} has no level (have {len(levels)})"
             )
-        return levels[info.app_id]
+        return levels[app_id]
 
     return classify

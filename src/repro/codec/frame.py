@@ -25,6 +25,13 @@ Frame parsing lives *only* here.  The packer, the stream layer, fault
 tampering and analyzer ingest all share this implementation; there is no
 trailer sniffing anywhere else.
 
+Zero-copy contract: :func:`parse_frame` stores section bodies as
+``memoryview`` slices into the caller's blob — no per-section copies on
+the decode path.  A view pins the blob alive and is safe to hold as long
+as the blob is immutable (``bytes``); callers that parse a mutable
+buffer, or need the sections to outlive a buffer they plan to recycle,
+must call :meth:`Frame.materialize` first (see DESIGN §14).
+
 Content accounting: the modelled byte volume of a pack is
 :func:`frame_content_size` — a fixed 16-byte logical header plus 40 bytes
 per record, matching the original v1 layout exactly.  Framing overhead,
@@ -51,10 +58,12 @@ from repro.telemetry import hostprof
 FRAME_MAGIC = 0x45564632  # "EVF2"
 FRAME_VERSION = 2
 _HEADER_FMT = "<IHHIIHH"  # magic, version, app_id, rank, count, nsections, flags
-FRAME_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_HEADER_STRUCT = struct.Struct(_HEADER_FMT)
+FRAME_HEADER_SIZE = _HEADER_STRUCT.size
 assert FRAME_HEADER_SIZE == 20
 _SECTION_FMT = "<HHI"  # type, reserved, length
-SECTION_HEADER_SIZE = struct.calcsize(_SECTION_FMT)
+_SECTION_STRUCT = struct.Struct(_SECTION_FMT)
+SECTION_HEADER_SIZE = _SECTION_STRUCT.size
 assert SECTION_HEADER_SIZE == 8
 
 SEC_PAYLOAD = 1
@@ -72,12 +81,18 @@ _SECTION_NAMES = {
 }
 
 _PROV_FMT = "<QHId"  # flow_id, origin_app, origin_rank, t_seal
-PROVENANCE_BODY_SIZE = struct.calcsize(_PROV_FMT)
+_PROV_STRUCT = struct.Struct(_PROV_FMT)
+PROVENANCE_BODY_SIZE = _PROV_STRUCT.size
 assert PROVENANCE_BODY_SIZE == 22
 _CRC_FMT = "<I"
+_CRC_STRUCT = struct.Struct(_CRC_FMT)
 CRC_BODY_SIZE = 4
 _SAMPLING_FMT = "<I"
+_SAMPLING_STRUCT = struct.Struct(_SAMPLING_FMT)
 SAMPLING_BODY_SIZE = 4
+
+#: the CRC section header never varies — emit it as a constant
+_CRC_SECTION_HEADER = _SECTION_STRUCT.pack(SEC_CRC, 0, CRC_BODY_SIZE)
 
 # Modelled content accounting (v1-compatible): 16-byte logical header plus
 # 40 bytes per record.  These are *accounting* constants, not wire offsets;
@@ -101,7 +116,7 @@ class PackProvenance:
     t_seal: float
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """A parsed (or under-construction) pack frame.
 
@@ -110,13 +125,18 @@ class Frame:
     parse → edit → emit always yields a valid checksum.  ``crc_ok`` /
     ``stored_crc`` report what :func:`parse_frame` found on the wire
     (``None`` for a frame built in memory).
+
+    Section bodies are ``memoryview`` slices of the parsed blob (see the
+    module docstring's zero-copy contract) or ``bytes`` for frames built
+    or edited in memory; both compare, slice, hash-dump and re-emit the
+    same way.  Call :meth:`materialize` to force plain ``bytes`` bodies.
     """
 
     app_id: int
     rank: int
     count: int
     flags: int = 0
-    sections: list[tuple[int, bytes]] = field(default_factory=list)
+    sections: list[tuple[int, bytes | memoryview]] = field(default_factory=list)
     stored_crc: int | None = None
     crc_ok: bool | None = None
     #: Body byte offsets aligned with ``sections`` — filled by
@@ -124,15 +144,22 @@ class Frame:
     #: tooling can address wire bytes without a second format walk.
     offsets: list[int] = field(default_factory=list)
 
-    def section(self, kind: int) -> bytes | None:
+    def section(self, kind: int) -> bytes | memoryview | None:
         """Body of the first section of ``kind``, or ``None``."""
         for stype, body in self.sections:
             if stype == kind:
                 return body
         return None
 
+    def materialize(self) -> "Frame":
+        """Copy every section body to plain ``bytes``, detaching the frame
+        from the parsed blob (required before the blob's buffer is reused
+        or mutated; a no-op for frames built in memory)."""
+        self.sections = [(t, bytes(b)) for t, b in self.sections]
+        return self
+
     @property
-    def payload(self) -> bytes:
+    def payload(self) -> bytes | memoryview:
         return self.section(SEC_PAYLOAD) or b""
 
     @property
@@ -142,7 +169,7 @@ class Frame:
         if body is None:
             return ""
         try:
-            return body.decode("utf-8")
+            return bytes(body).decode("utf-8")
         except UnicodeDecodeError as exc:
             raise SectionLengthError(f"codec descriptor is not UTF-8: {exc}") from exc
 
@@ -151,7 +178,7 @@ class Frame:
         body = self.section(SEC_PROVENANCE)
         if body is None:
             return None
-        flow_id, app_id, rank, t_seal = struct.unpack(_PROV_FMT, body)
+        flow_id, app_id, rank, t_seal = _PROV_STRUCT.unpack(body)
         return PackProvenance(flow_id=flow_id, app_id=app_id, rank=rank, t_seal=t_seal)
 
     @property
@@ -160,7 +187,7 @@ class Frame:
         body = self.section(SEC_SAMPLING)
         if body is None:
             return 0
-        return struct.unpack(_SAMPLING_FMT, body)[0]
+        return _SAMPLING_STRUCT.unpack(body)[0]
 
     def replace_section(self, kind: int, body: bytes) -> None:
         """Replace the first section of ``kind`` in place, or append one."""
@@ -177,7 +204,7 @@ class Frame:
     def with_provenance(self, prov: PackProvenance) -> "Frame":
         self.replace_section(
             SEC_PROVENANCE,
-            struct.pack(_PROV_FMT, prov.flow_id, prov.app_id, prov.rank, prov.t_seal),
+            _PROV_STRUCT.pack(prov.flow_id, prov.app_id, prov.rank, prov.t_seal),
         )
         return self
 
@@ -187,10 +214,25 @@ class Frame:
         return CONTENT_HEADER_SIZE + self.count * CONTENT_RECORD_SIZE
 
     def to_bytes(self) -> bytes:
-        """Serialize, appending a freshly computed CRC section last."""
-        parts = [
-            struct.pack(
-                _HEADER_FMT,
+        """Serialize, appending a freshly computed CRC section last.
+
+        Single-pass: header and sections are appended to one reusable
+        module-level ``bytearray`` (the emit path runs on the
+        single-threaded kernel loop; re-entrant calls fall back to a
+        local buffer), the CRC is computed over it in place, and the
+        only copy made is the immutable ``bytes`` returned.
+        """
+        global _emit_busy
+        if _emit_busy:
+            buf = bytearray()
+            reused = False
+        else:
+            _emit_busy = True
+            buf = _EMIT_BUF
+            del buf[:]
+            reused = True
+        try:
+            buf += _HEADER_STRUCT.pack(
                 FRAME_MAGIC,
                 FRAME_VERSION,
                 self.app_id,
@@ -199,15 +241,22 @@ class Frame:
                 len(self.sections) + 1,  # + the CRC section
                 self.flags,
             )
-        ]
-        for stype, body in self.sections:
-            parts.append(struct.pack(_SECTION_FMT, stype, 0, len(body)))
-            parts.append(body)
-        covered = b"".join(parts)
-        crc = zlib.crc32(covered)
-        return covered + struct.pack(
-            _SECTION_FMT, SEC_CRC, 0, CRC_BODY_SIZE
-        ) + struct.pack(_CRC_FMT, crc)
+            pack_section = _SECTION_STRUCT.pack
+            for stype, body in self.sections:
+                buf += pack_section(stype, 0, len(body))
+                buf += body
+            crc = zlib.crc32(buf)
+            buf += _CRC_SECTION_HEADER
+            buf += _CRC_STRUCT.pack(crc)
+            return bytes(buf)
+        finally:
+            if reused:
+                _emit_busy = False
+
+
+#: reusable emit buffer + busy flag (single-threaded hot path; see to_bytes)
+_EMIT_BUF = bytearray()
+_emit_busy = False
 
 
 def build_frame(
@@ -233,13 +282,12 @@ def build_frame(
     hp = hostprof.ACTIVE
     t_host = hp.now() if hp.enabled else 0.0
     frame = Frame(app_id=app_id, rank=rank, count=count, flags=flags)
-    frame.sections.append((SEC_PAYLOAD, bytes(payload)))
+    sections = frame.sections
+    sections.append((SEC_PAYLOAD, bytes(payload)))
     if codec:
-        frame.sections.append((SEC_CODEC, codec.encode("utf-8")))
+        sections.append((SEC_CODEC, codec.encode("utf-8")))
     if events_dropped:
-        frame.sections.append(
-            (SEC_SAMPLING, struct.pack(_SAMPLING_FMT, events_dropped))
-        )
+        sections.append((SEC_SAMPLING, _SAMPLING_STRUCT.pack(events_dropped)))
     if provenance is not None:
         frame.with_provenance(provenance)
     blob = frame.to_bytes()
@@ -257,6 +305,9 @@ def parse_frame(blob, verify: bool = True) -> Frame:
     tools can inspect damaged frames.  Unknown section types are kept in
     ``Frame.sections`` untouched (forward compatibility: they survive a
     parse → emit round trip).
+
+    Section bodies are zero-copy ``memoryview`` slices of ``blob``; see
+    the module docstring for the lifetime contract.
     """
     hp = hostprof.ACTIVE
     t_host = hp.now() if hp.enabled else 0.0
@@ -269,14 +320,17 @@ def parse_frame(blob, verify: bool = True) -> Frame:
         raise FrameTruncatedError(
             f"frame of {total} bytes shorter than {FRAME_HEADER_SIZE}-byte header"
         )
-    magic, version, app_id, rank, count, nsections, flags = struct.unpack_from(
-        _HEADER_FMT, view, 0
+    magic, version, app_id, rank, count, nsections, flags = _HEADER_STRUCT.unpack_from(
+        view, 0
     )
     if magic != FRAME_MAGIC:
         raise PackFormatError(f"bad pack magic {magic:#010x}")
     if version != FRAME_VERSION:
         raise PackFormatError(f"unsupported pack version {version}")
-    frame = Frame(app_id=app_id, rank=rank, count=count, flags=flags)
+    frame = Frame(app_id, rank, count, flags)
+    sections = frame.sections
+    offsets = frame.offsets
+    unpack_section = _SECTION_STRUCT.unpack_from
     offset = FRAME_HEADER_SIZE
     crc_covered_end: int | None = None
     for _ in range(nsections):
@@ -284,14 +338,13 @@ def parse_frame(blob, verify: bool = True) -> Frame:
             raise FrameTruncatedError(
                 f"frame ended at byte {total} inside a section header at {offset}"
             )
-        stype, _reserved, length = struct.unpack_from(_SECTION_FMT, view, offset)
+        stype, _reserved, length = unpack_section(view, offset)
         body_start = offset + SECTION_HEADER_SIZE
         if body_start + length > total:
             raise FrameTruncatedError(
                 f"section {section_name(stype)} declares {length} bytes at offset "
                 f"{body_start} but frame has {total}"
             )
-        body = bytes(view[body_start : body_start + length])
         if stype == SEC_CRC:
             if length != CRC_BODY_SIZE:
                 raise SectionLengthError(
@@ -299,7 +352,7 @@ def parse_frame(blob, verify: bool = True) -> Frame:
                 )
             if crc_covered_end is None:  # first CRC wins; covers bytes before it
                 crc_covered_end = offset
-                frame.stored_crc = struct.unpack(_CRC_FMT, body)[0]
+                frame.stored_crc = _CRC_STRUCT.unpack_from(view, body_start)[0]
         else:
             if stype == SEC_PROVENANCE and length != PROVENANCE_BODY_SIZE:
                 raise SectionLengthError(
@@ -310,8 +363,8 @@ def parse_frame(blob, verify: bool = True) -> Frame:
                 raise SectionLengthError(
                     f"sampling section of {length} bytes, expected {SAMPLING_BODY_SIZE}"
                 )
-            frame.sections.append((stype, body))
-            frame.offsets.append(body_start)
+            sections.append((stype, view[body_start : body_start + length]))
+            offsets.append(body_start)
         offset = body_start + length
     if offset != total:
         raise SectionLengthError(
@@ -348,8 +401,8 @@ class FrameInfo:
         return CONTENT_HEADER_SIZE + self.count * CONTENT_RECORD_SIZE
 
 
-def peek_header(blob) -> FrameInfo:
-    """Decode just the 20-byte frame header (no section walk, no CRC)."""
+def _header_fields(blob) -> tuple[int, int, int, int, int]:
+    """Validated header fields (app_id, rank, count, nsections, flags)."""
     try:
         view = memoryview(blob)
     except TypeError:
@@ -358,13 +411,19 @@ def peek_header(blob) -> FrameInfo:
         raise FrameTruncatedError(
             f"frame of {len(view)} bytes shorter than {FRAME_HEADER_SIZE}-byte header"
         )
-    magic, version, app_id, rank, count, nsections, flags = struct.unpack_from(
-        _HEADER_FMT, view, 0
+    magic, version, app_id, rank, count, nsections, flags = _HEADER_STRUCT.unpack_from(
+        view, 0
     )
     if magic != FRAME_MAGIC:
         raise PackFormatError(f"bad pack magic {magic:#010x}")
     if version != FRAME_VERSION:
         raise PackFormatError(f"unsupported pack version {version}")
+    return app_id, rank, count, nsections, flags
+
+
+def peek_header(blob) -> FrameInfo:
+    """Decode just the 20-byte frame header (no section walk, no CRC)."""
+    app_id, rank, count, nsections, flags = _header_fields(blob)
     return FrameInfo(
         app_id=app_id, rank=rank, count=count, nsections=nsections, flags=flags
     )
@@ -372,7 +431,7 @@ def peek_header(blob) -> FrameInfo:
 
 def frame_content_size(blob) -> int:
     """Modelled content bytes of a serialized frame (header peek only)."""
-    return peek_header(blob).content_size
+    return CONTENT_HEADER_SIZE + _header_fields(blob)[2] * CONTENT_RECORD_SIZE
 
 
 def peek_provenance(blob) -> PackProvenance | None:
@@ -381,8 +440,47 @@ def peek_provenance(blob) -> PackProvenance | None:
     Returns ``None`` for anything that is not a provenance-stamped frame —
     non-bytes payloads, damaged frames, or frames without the section — so
     hot paths can call it unconditionally on whatever travels a stream.
+
+    This is a light section-header walk: it performs every structural
+    check :func:`parse_frame` does (so the None-vs-stamp outcome is
+    identical to ``parse_frame(blob, verify=False).provenance`` with
+    errors mapped to ``None``) but never copies a body, builds a
+    :class:`Frame`, or computes the CRC.
     """
     try:
-        return parse_frame(blob, verify=False).provenance
-    except PackFormatError:
+        view = memoryview(blob)
+    except TypeError:
         return None
+    total = len(view)
+    if total < FRAME_HEADER_SIZE:
+        return None
+    magic, version, _app_id, _rank, _count, nsections, _flags = (
+        _HEADER_STRUCT.unpack_from(view, 0)
+    )
+    if magic != FRAME_MAGIC or version != FRAME_VERSION:
+        return None
+    unpack_section = _SECTION_STRUCT.unpack_from
+    offset = FRAME_HEADER_SIZE
+    prov_start = -1
+    for _ in range(nsections):
+        if offset + SECTION_HEADER_SIZE > total:
+            return None
+        stype, _reserved, length = unpack_section(view, offset)
+        body_start = offset + SECTION_HEADER_SIZE
+        if body_start + length > total:
+            return None
+        if stype == SEC_CRC:
+            if length != CRC_BODY_SIZE:
+                return None
+        elif stype == SEC_PROVENANCE:
+            if length != PROVENANCE_BODY_SIZE:
+                return None
+            if prov_start < 0:  # first provenance section wins, like parse_frame
+                prov_start = body_start
+        elif stype == SEC_SAMPLING and length != SAMPLING_BODY_SIZE:
+            return None
+        offset = body_start + length
+    if offset != total or prov_start < 0:
+        return None
+    flow_id, app_id, rank, t_seal = _PROV_STRUCT.unpack_from(view, prov_start)
+    return PackProvenance(flow_id=flow_id, app_id=app_id, rank=rank, t_seal=t_seal)

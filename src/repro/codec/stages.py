@@ -53,7 +53,8 @@ _REC_DTYPE = np.dtype(
 SITE_RAW, SITE_DICT = 0, 1
 TIME_RAW, TIME_DELTA = 0, 1
 _COL_FMT = "<BBII"  # site_enc, time_enc, count, sites_len
-_COL_HEADER_SIZE = struct.calcsize(_COL_FMT)
+_COL_STRUCT = struct.Struct(_COL_FMT)
+_COL_HEADER_SIZE = _COL_STRUCT.size
 
 
 @dataclass
@@ -91,8 +92,8 @@ class Columnar:
 
     def serialize(self) -> bytes:
         return (
-            struct.pack(
-                _COL_FMT, self.site_enc, self.time_enc, self.count, len(self.sites)
+            _COL_STRUCT.pack(
+                self.site_enc, self.time_enc, self.count, len(self.sites)
             )
             + self.sites
             + self.times
@@ -104,7 +105,7 @@ class Columnar:
             raise PackFormatError(
                 f"columnar container of {len(data)} bytes shorter than header"
             )
-        site_enc, time_enc, count, sites_len = struct.unpack_from(_COL_FMT, data, 0)
+        site_enc, time_enc, count, sites_len = _COL_STRUCT.unpack_from(data, 0)
         body = data[_COL_HEADER_SIZE:]
         if sites_len > len(body):
             raise PackFormatError(
@@ -512,6 +513,11 @@ class CodecChain:
                 "before columnar transforms (delta, dict), byte codecs (zlib) last"
             )
         self.stages = list(stages)
+        # Phase partition, computed once: the encode/decode hot loops must
+        # not rebuild these lists per pack.
+        self._phase0 = [s for s in self.stages if s.phase == 0]
+        self._phase1 = [s for s in self.stages if s.phase == 1]
+        self._phase2 = [s for s in self.stages if s.phase == 2]
 
     @property
     def spec(self) -> str:
@@ -533,7 +539,7 @@ class CodecChain:
         return f"CodecChain({self.spec!r})"
 
     def _by_phase(self, phase: int) -> list[Stage]:
-        return [s for s in self.stages if s.phase == phase]
+        return (self._phase0, self._phase1, self._phase2)[phase]
 
     def encode(self, records: bytes, now: float = 0.0) -> EncodeResult:
         """Run one record batch through the chain (left to right)."""
@@ -546,17 +552,17 @@ class CodecChain:
         t_host = hp.now() if hp.enabled else 0.0
         ctx = CodecContext(now=now)
         data = bytes(records)
-        for stage in self._by_phase(0):
+        for stage in self._phase0:
             data = stage.encode_records(data, ctx)
         count = len(data) // RECORD_SIZE
         raw_bytes = len(data)
-        columnar = self._by_phase(1)
+        columnar = self._phase1
         if columnar:
             col = _split_columnar(data)
             for stage in columnar:
                 stage.encode_columnar(col, ctx)
             data = col.serialize()
-        for stage in self._by_phase(2):
+        for stage in self._phase2:
             data = stage.encode_bytes(data, ctx)
         if hp.enabled:
             # MB/s over the *content* bytes in: the work the chain absorbed.
@@ -572,10 +578,13 @@ class CodecChain:
         """Invert :meth:`encode`: payload bytes back to fixed-width records."""
         hp = hostprof.ACTIVE
         t_host = hp.now() if hp.enabled else 0.0
-        data = bytes(payload)
-        for stage in reversed(self._by_phase(2)):
+        # Zero-copy entry: ``payload`` may be a memoryview straight out of
+        # parse_frame; every stage accepts buffer objects, and the identity
+        # chain hands the view back uncopied.
+        data = payload
+        for stage in reversed(self._phase2):
             data = stage.decode_bytes(data)
-        columnar = self._by_phase(1)
+        columnar = self._phase1
         if columnar:
             col = Columnar.parse(data)
             if col.count != count:
@@ -590,7 +599,7 @@ class CodecChain:
                 f"decoded payload of {len(data)} bytes, "
                 f"frame count {count} implies {count * RECORD_SIZE}"
             )
-        for stage in reversed(self._by_phase(0)):
+        for stage in reversed(self._phase0):
             data = stage.decode_records(data)
         if hp.enabled:
             # MB/s over the content bytes out: symmetric with encode.

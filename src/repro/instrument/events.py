@@ -20,7 +20,8 @@ from repro.errors import InstrumentationError
 from repro.mpi.pmpi import CallRecord
 
 _STRUCT_FMT = "<HHiiIqdd"
-EVENT_RECORD_SIZE = struct.calcsize(_STRUCT_FMT)
+_RECORD_STRUCT = struct.Struct(_STRUCT_FMT)
+EVENT_RECORD_SIZE = _RECORD_STRUCT.size
 assert EVENT_RECORD_SIZE == 40
 # The codec layer hardcodes the record layout (24-byte call-site prefix +
 # two f64 timestamps) without importing this module; keep them in lockstep.
@@ -108,8 +109,27 @@ def call_id(name: str) -> int:
 
 def encode_event(record: CallRecord) -> bytes:
     """Encode one PMPI call record into its 40-byte wire form."""
-    return struct.pack(
-        _STRUCT_FMT,
+    return _RECORD_STRUCT.pack(
+        call_id(record.name),
+        0,
+        record.peer,
+        record.tag,
+        max(0, record.comm_size),
+        record.nbytes,
+        record.t_start,
+        record.t_end,
+    )
+
+
+def encode_event_into(buf: bytearray, offset: int, record: CallRecord) -> None:
+    """Encode one record at ``offset`` of a preallocated buffer.
+
+    The allocation-free variant of :func:`encode_event` the pack builder's
+    hot loop uses: no intermediate 40-byte ``bytes`` object per event.
+    """
+    _RECORD_STRUCT.pack_into(
+        buf,
+        offset,
         call_id(record.name),
         0,
         record.peer,

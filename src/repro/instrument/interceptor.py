@@ -90,7 +90,8 @@ class StreamingInstrumentation(Interceptor):
         # is charged to the timeline in quanta, keeping the discrete-event
         # count proportional to packs rather than events (identical totals).
         self._cpu_debt = 0.0
-        self._cpu_quantum = max(self.cost.per_event_cpu * 16, 8e-6)
+        self._per_event_cpu = self.cost.per_event_cpu  # hot-path cache
+        self._cpu_quantum = max(self._per_event_cpu * 16, 8e-6)
 
     # -- PMPI hooks ---------------------------------------------------------------
 
@@ -160,7 +161,7 @@ class StreamingInstrumentation(Interceptor):
         """
         self.events_captured += 1
         self.mpi_time_s += record.t_end - record.t_start
-        self._cpu_debt += self.cost.per_event_cpu
+        self._cpu_debt += self._per_event_cpu
         full = self.builder.add(record)
         if full:
             return self._charge_and_flush()

@@ -37,7 +37,7 @@ from repro.codec.frame import (
 )
 from repro.codec.stages import CodecChain, decode_chain
 from repro.errors import PackFormatError
-from repro.instrument.events import EVENT_RECORD_SIZE, decode_events, encode_event
+from repro.instrument.events import EVENT_RECORD_SIZE, decode_events, encode_event_into
 from repro.mpi.pmpi import CallRecord
 
 PACK_HEADER_SIZE = CONTENT_HEADER_SIZE  # modelled content header, v1-compatible
@@ -53,6 +53,7 @@ __all__ = [
     "pack_content_size",
     "verify_pack",
     "decode_pack",
+    "decode_pack_frame",
 ]
 
 
@@ -96,7 +97,11 @@ class EventPackBuilder:
         self.capacity_bytes = capacity_bytes
         self.max_records = (capacity_bytes - PACK_HEADER_SIZE) // EVENT_RECORD_SIZE
         self.chain = chain if chain else None
-        self._records: list[bytes] = []
+        # Preallocated per-writer record buffer: add() packs straight into
+        # it (no per-event bytes object, no list growth); emit() hands the
+        # filled prefix to the chain/framer and resets the write cursor.
+        self._buf = bytearray(self.max_records * EVENT_RECORD_SIZE)
+        self._count = 0
         self.total_events = 0
         self.packs_emitted = 0
         self.bytes_content = 0  # modelled content bytes of emitted packs
@@ -106,34 +111,37 @@ class EventPackBuilder:
 
     @property
     def count(self) -> int:
-        return len(self._records)
+        return self._count
 
     @property
     def full(self) -> bool:
-        return len(self._records) >= self.max_records
+        return self._count >= self.max_records
 
     @property
     def size_bytes(self) -> int:
-        return PACK_HEADER_SIZE + len(self._records) * EVENT_RECORD_SIZE
+        return PACK_HEADER_SIZE + self._count * EVENT_RECORD_SIZE
 
     def add(self, record: CallRecord) -> bool:
         """Append one event; returns True when the pack is now full."""
-        self._records.append(encode_event(record))
+        encode_event_into(self._buf, self._count * EVENT_RECORD_SIZE, record)
+        self._count += 1
         self.total_events += 1
-        return self.full
+        return self._count >= self.max_records
 
     def emit(
         self, now: float = 0.0, provenance: PackProvenance | None = None
     ) -> bytes:
         """Seal, encode and reset; empty packs serialize with count == 0."""
-        records = b"".join(self._records)
+        # A view of the filled prefix; consumed (and copied at most once)
+        # before this method resets the cursor, so reuse is safe.
+        records = memoryview(self._buf)[: self._count * EVENT_RECORD_SIZE]
         if self.chain is not None:
             result = self.chain.encode(records, now=now)
             payload, count = result.payload, result.count
             dropped, spec = result.events_dropped, self.chain.spec
             self.last_encode = result
         else:
-            payload, count = records, len(self._records)
+            payload, count = records, self._count
             dropped, spec = 0, ""
         blob = build_frame(
             self.app_id,
@@ -144,7 +152,8 @@ class EventPackBuilder:
             provenance=provenance,
             events_dropped=dropped,
         )
-        self._records.clear()
+        records.release()
+        self._count = 0
         self.packs_emitted += 1
         self.bytes_content += PACK_HEADER_SIZE + count * EVENT_RECORD_SIZE
         self.bytes_wire += len(blob)
@@ -201,7 +210,17 @@ def decode_pack(blob: bytes | memoryview) -> tuple[PackHeader, np.ndarray]:
     descriptor (identity when absent).  Raises a :class:`PackFormatError`
     subclass on bad magic/version/structure/checksum/codec.
     """
-    frame = parse_frame(blob)
+    return decode_pack_frame(parse_frame(blob))
+
+
+def decode_pack_frame(frame) -> tuple[PackHeader, np.ndarray]:
+    """:func:`decode_pack` for an already-parsed frame.
+
+    The ingest pipeline parses each pack exactly once and threads the
+    frame to the unpacker knowledge source; this entry point skips the
+    re-parse (and re-CRC) of the blob form.  The caller is responsible
+    for having verified the checksum.
+    """
     records = decode_chain(frame.codec).decode(frame.payload, frame.count)
     header = PackHeader(app_id=frame.app_id, rank=frame.rank, count=frame.count)
     return header, decode_events(records, frame.count)

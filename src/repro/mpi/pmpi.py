@@ -19,7 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.world import RankContext
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CallRecord:
     """What an interceptor sees about one completed MPI call."""
 
@@ -106,27 +106,49 @@ class PMPIStack:
             result = yield from impl
             return result
         self.calls_seen += 1
-        kernel = self.ctx.kernel
+        ctx = self.ctx
+        kernel = ctx.kernel
+        # Hook results are interpreted inline: the overwhelmingly common
+        # None / seconds outcomes never build a _drive generator frame.
         for interceptor in self.interceptors:
-            yield from _drive(kernel, interceptor.on_enter(self.ctx, name))
+            hooked = interceptor.on_enter(ctx, name)
+            if hooked is None:
+                continue
+            if isinstance(hooked, (int, float)):
+                if hooked > 0:
+                    yield kernel.timeout(float(hooked))
+                continue
+            yield from _drive(kernel, hooked)
         t_start = kernel.now
         result = yield from impl
-        fields = {
-            "name": name,
-            "t_start": t_start,
-            "t_end": kernel.now,
-            "comm_id": comm_id,
-            "comm_rank": comm_rank,
-            "comm_size": comm_size,
-            "peer": peer,
-            "tag": tag,
-            "nbytes": nbytes,
-        }
-        if post is not None:
+        if post is None:
+            record = CallRecord(
+                name, t_start, kernel.now, comm_id, comm_rank, comm_size,
+                peer, tag, nbytes,
+            )
+        else:
+            fields = {
+                "name": name,
+                "t_start": t_start,
+                "t_end": kernel.now,
+                "comm_id": comm_id,
+                "comm_rank": comm_rank,
+                "comm_size": comm_size,
+                "peer": peer,
+                "tag": tag,
+                "nbytes": nbytes,
+            }
             fields.update(post(result))
-        record = CallRecord(**fields)
+            record = CallRecord(**fields)
         for interceptor in self.interceptors:
-            yield from _drive(kernel, interceptor.on_exit(self.ctx, record))
+            hooked = interceptor.on_exit(ctx, record)
+            if hooked is None:
+                continue
+            if isinstance(hooked, (int, float)):
+                if hooked > 0:
+                    yield kernel.timeout(float(hooked))
+                continue
+            yield from _drive(kernel, hooked)
         return result
 
 

@@ -17,6 +17,8 @@ from repro.simt.primitives import AllOf, AnyOf, SimEvent, Timeout
 from repro.simt.process import Process
 from repro.telemetry import KERNEL_PID, NULL_TELEMETRY, Telemetry, hostprof
 
+_INF = float("inf")
+
 
 class PeriodicHook:
     """One periodic kernel callback (see :meth:`Kernel.call_every`)."""
@@ -37,6 +39,22 @@ class PeriodicHook:
 class Kernel:
     """Discrete-event simulation kernel with virtual time in seconds."""
 
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_processes",
+        "_current",
+        "_crashes",
+        "_hooks",
+        "_hooks_due",
+        "telemetry",
+        "_ctr_dispatched",
+        "_gauge_heap",
+        "trace",
+        "events_dispatched",
+    )
+
     def __init__(self, *, trace: bool = False, telemetry: Telemetry | None = None):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, SimEvent]] = []
@@ -45,6 +63,12 @@ class Kernel:
         self._current: Process | None = None
         self._crashes: list[tuple[Process, BaseException]] = []
         self._hooks: list[PeriodicHook] = []
+        #: earliest ``next_due`` among active hooks (inf when none) — the
+        #: dispatch loop's per-event hook test is one float compare, never
+        #: a scan.  May go stale-low (a directly cancelled hook), in which
+        #: case :meth:`_fire_hooks` recomputes and fires nothing; it must
+        #: never be stale-high, so every registration lowers it.
+        self._hooks_due: float = _INF
         # The trace debug aid records dispatch markers through telemetry, so
         # trace=True without an explicit instance gets a private live one.
         if telemetry is None and trace:
@@ -129,12 +153,17 @@ class Kernel:
                 )
             hook.next_due = float(first)
         self._hooks.append(hook)
+        if hook.next_due < self._hooks_due:
+            self._hooks_due = hook.next_due
         return hook
 
     def cancel_every(self, hook: PeriodicHook) -> None:
         hook.cancel()
         if hook in self._hooks:
             self._hooks.remove(hook)
+        self._hooks_due = min(
+            (h.next_due for h in self._hooks if h.active), default=_INF
+        )
 
     def _fire_hooks(self, upto: float) -> None:
         """Run every hook due at or before ``upto``, advancing the clock."""
@@ -154,6 +183,9 @@ class Kernel:
             if not any(h.active for h in self._hooks):
                 self._hooks = [h for h in self._hooks if h.active]
                 break
+        self._hooks_due = min(
+            (h.next_due for h in self._hooks if h.active), default=_INF
+        )
 
     # -- the loop ---------------------------------------------------------------
 
@@ -164,7 +196,7 @@ class Kernel:
         when, _seq, event = heapq.heappop(self._heap)
         if when < self.now:
             raise SimulationError("time went backwards (kernel bug)")
-        if self._hooks:
+        if when >= self._hooks_due:
             self._fire_hooks(when)
         self.now = when
         self.events_dispatched += 1
@@ -184,11 +216,7 @@ class Kernel:
         event._dispatch()
         # A process that crashed with nobody joining it must surface the
         # error instead of silently vanishing from the simulation.
-        if (
-            isinstance(event, Process)
-            and event.state == 2  # FAILED
-            and event.num_waiters == 0
-        ):
+        if event._is_process and event.state == 2 and event.num_waiters == 0:
             raise ProcessCrashError(event.name, event.value) from event.value
 
     def run(self, until: float | SimEvent | None = None) -> Any:
@@ -225,6 +253,7 @@ class Kernel:
             hp.count("kernel.heap_pops", dispatched)
 
     def _drain(self, until: float | SimEvent | None) -> Any:
+        fast = not self.telemetry.enabled
         if isinstance(until, SimEvent):
             stop_event = until
             # Joining through run() counts as observing the event.
@@ -241,17 +270,59 @@ class Kernel:
             deadline = float(until)
             if deadline < self.now:
                 raise SimulationError(f"deadline {deadline} is in the past ({self.now})")
-            while self._heap and self._heap[0][0] <= deadline:
-                self.step()
+            if fast:
+                self._drain_fast(deadline)
+            else:
+                while self._heap and self._heap[0][0] <= deadline:
+                    self.step()
             self.now = deadline
             return None
 
-        while self._heap:
-            self.step()
+        if fast:
+            self._drain_fast(None)
+        else:
+            while self._heap:
+                self.step()
         blocked = self.alive_processes()
         if blocked:
             raise DeadlockError([p.name for p in blocked])
         return None
+
+    def _drain_fast(self, deadline: float | None) -> None:
+        """The telemetry-off dispatch loop: :meth:`step` inlined, with
+        same-timestamp batching.
+
+        Event order, hook firing points and the virtual clock are exactly
+        those of the ``step()`` loop — only per-event Python overhead is
+        removed: no method-call frames, no per-event telemetry branch, the
+        hook test is one compare against :attr:`_hooks_due`, and events
+        sharing a timestamp are dispatched in a batch that skips the
+        redundant back-in-time check after the first.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        limit = _INF if deadline is None else deadline
+        while heap and heap[0][0] <= limit:
+            when, _seq, event = pop(heap)
+            if when < self.now:
+                raise SimulationError("time went backwards (kernel bug)")
+            while True:
+                # A dispatched callback may register a hook due *now*
+                # (call_every(first=now)), so the compare stays per-event,
+                # exactly like step(); after firing, _hooks_due > when.
+                if when >= self._hooks_due:
+                    self._fire_hooks(when)
+                self.now = when
+                self.events_dispatched += 1
+                if event.state == 0:  # PENDING: a timeout firing now
+                    event.state = 1  # SUCCEEDED (value was set at creation)
+                event._dispatch()
+                if event._is_process and event.state == 2 and event.num_waiters == 0:
+                    raise ProcessCrashError(event.name, event.value) from event.value
+                if heap and heap[0][0] == when:
+                    when, _seq, event = pop(heap)
+                else:
+                    break
 
     def _raise_deadlock(self, waiting_for: SimEvent) -> None:
         blocked = [p.name for p in self.alive_processes()]

@@ -35,6 +35,10 @@ class SimEvent:
 
     __slots__ = ("kernel", "state", "value", "callbacks", "name", "num_waiters")
 
+    #: class flag the dispatch loop reads instead of an isinstance() check;
+    #: Process overrides it with True
+    _is_process = False
+
     def __init__(self, kernel: "Kernel", name: str = ""):
         self.kernel = kernel
         self.state = PENDING

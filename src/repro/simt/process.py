@@ -24,6 +24,8 @@ class Process(SimEvent):
 
     __slots__ = ("generator", "_waiting_on", "alive_since")
 
+    _is_process = True  # see SimEvent._is_process
+
     def __init__(self, kernel: "Kernel", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(

@@ -204,6 +204,14 @@ class VMPIStream:
         self._stall_until: float | None = None
         self._mpi: ProgramAPI | None = None
         self._closed = False
+        # Hot-path caches, filled at open(): the kernel and the intra-node
+        # bandwidth (four attribute hops otherwise), plus lazily-created
+        # telemetry instrument handles so the per-block accounting never
+        # repeats the name->metric registry lookups.
+        self._kernel = None
+        self._bw = 0.0
+        self._wmet: tuple | None = None
+        self._rmet: tuple | None = None
 
     # -- opening ---------------------------------------------------------------------
 
@@ -228,6 +236,8 @@ class VMPIStream:
         self._pid = rank_pid(mpi.ctx.global_rank)
         self._flows = mpi.ctx.world.flows
         kernel = mpi.ctx.kernel
+        self._kernel = kernel
+        self._bw = mpi.ctx.world.machine.intra_node_bandwidth
         if mode == "w":
             self._slots = Resource(kernel, capacity=self.na, name="vmpi.wbuf")
             self._rng = derive_rng(
@@ -267,7 +277,7 @@ class VMPIStream:
         if not (0 < nbytes <= self.block_size):
             raise VMPIError(f"write of {nbytes} outside (0, {self.block_size}]")
         mpi = self._mpi
-        kernel = mpi.ctx.kernel
+        kernel = self._kernel
         tel = self._tel
         hp = hostprof.ACTIVE
         # Host-time plane: charge only this path's straight-line Python cost
@@ -328,7 +338,7 @@ class VMPIStream:
         if self._slots.in_use > self.write_buffers_hwm:
             self.write_buffers_hwm = self._slots.in_use
         # Copy into the asynchronous output buffer.
-        copy_time = nbytes / mpi.ctx.world.machine.intra_node_bandwidth
+        copy_time = nbytes / self._bw
         if copy_time > 0:
             self.write_copy_s += copy_time
             if seg is not None:
@@ -382,12 +392,18 @@ class VMPIStream:
                 self._ratio_sum += wire / content
                 self._ratio_packs += 1
         if tel.enabled:
-            tel.counter("stream.blocks_written").inc()
-            tel.counter("stream.bytes_written").inc(nbytes)
-            tel.histogram("stream.write_stall_s").observe(stall)
-            tel.gauge("stream.write_buffers_in_flight", pid=self._pid).set(
-                self._slots.in_use
-            )
+            mets = self._wmet
+            if mets is None:
+                mets = self._wmet = (
+                    tel.counter("stream.blocks_written"),
+                    tel.counter("stream.bytes_written"),
+                    tel.histogram("stream.write_stall_s"),
+                    tel.gauge("stream.write_buffers_in_flight", pid=self._pid),
+                )
+            mets[0].inc()
+            mets[1].inc(nbytes)
+            mets[2].observe(stall)
+            mets[3].set(self._slots.in_use)
             span.end(stall_s=stall)
         if seg is not None:
             seg.done(items=1, nbytes=nbytes)
@@ -598,7 +614,7 @@ class VMPIStream:
         hp = hostprof.ACTIVE
         t0 = hp.now() if hp.enabled else 0.0
         status: Status = ev.value
-        now = self._mpi.ctx.kernel.now
+        now = self._kernel.now
         self._ready.append((status, now))
         if self._flows is not None:
             prov = peek_provenance(status.payload)
@@ -624,7 +640,7 @@ class VMPIStream:
         """
         self._require("r", "read")
         mpi = self._mpi
-        kernel = mpi.ctx.kernel
+        kernel = self._kernel
         tel = self._tel
         hp = hostprof.ACTIVE
         seg = hp.segment("stream.read") if hp.enabled else None
@@ -648,7 +664,7 @@ class VMPIStream:
                 result = self._consume(status, t_arrive)
                 if result is not None:
                     # Charge the copy out of the reception buffer.
-                    copy_time = result[0] / mpi.ctx.world.machine.intra_node_bandwidth
+                    copy_time = result[0] / self._bw
                     if copy_time > 0:
                         self.read_copy_s += copy_time
                         if seg is not None:
@@ -663,11 +679,16 @@ class VMPIStream:
                                 prov.flow_id, kernel.now, mpi.ctx.global_rank
                             )
                     if tel.enabled:
-                        tel.counter("stream.blocks_read").inc()
-                        tel.counter("stream.bytes_read").inc(result[0])
-                        tel.gauge("stream.read_buffers_ready", pid=self._pid).set(
-                            len(self._ready)
-                        )
+                        mets = self._rmet
+                        if mets is None:
+                            mets = self._rmet = (
+                                tel.counter("stream.blocks_read"),
+                                tel.counter("stream.bytes_read"),
+                                tel.gauge("stream.read_buffers_ready", pid=self._pid),
+                            )
+                        mets[0].inc()
+                        mets[1].inc(result[0])
+                        mets[2].set(len(self._ready))
                         span.end(nbytes=result[0])
                     if seg is not None:
                         seg.done(items=1, nbytes=result[0])
@@ -715,7 +736,7 @@ class VMPIStream:
             return None
         # Re-post the consumed buffer for this peer to keep NA outstanding.
         self._post_recv(peer_global)
-        dwell = self._mpi.ctx.kernel.now - t_arrive
+        dwell = self._kernel.now - t_arrive
         if status.payload is _DROPPED:
             # Block reclaimed by the writer's drop-oldest policy after it
             # was committed: consume the buffer, discard the tombstone.

@@ -1,0 +1,314 @@
+"""Differential test: the zero-copy frame parser vs. a frozen legacy copy.
+
+The hot-path refactor replaced the copying EVF2 parser with a
+memoryview-based zero-copy one.  This module pins the new parser to a
+*frozen, verbatim* copy of the pre-refactor implementation: both are run
+over a seeded fuzz corpus of valid, truncated and corrupted frames, and
+must agree byte-for-byte on every parsed section and raise the exact same
+typed error (`FrameTruncatedError` / `SectionLengthError` /
+`ChecksumError` / `PackFormatError`) on every malformed input.
+
+The frozen parser below is deliberately self-contained (own struct
+formats, no imports from `repro.codec.frame` beyond the error types and
+constants that define the wire format) so a regression in the live module
+cannot mask itself here.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import zlib
+
+import pytest
+
+from repro.codec.frame import (
+    CRC_BODY_SIZE,
+    FRAME_HEADER_SIZE,
+    PROVENANCE_BODY_SIZE,
+    SAMPLING_BODY_SIZE,
+    SEC_CODEC,
+    SEC_CRC,
+    SEC_PAYLOAD,
+    SEC_PROVENANCE,
+    SEC_SAMPLING,
+    SECTION_HEADER_SIZE,
+    parse_frame,
+    peek_provenance,
+)
+from repro.errors import (
+    ChecksumError,
+    FrameTruncatedError,
+    PackFormatError,
+    SectionLengthError,
+)
+
+pytestmark = pytest.mark.codec
+
+
+# -- frozen legacy parser (pre-refactor copy; do not "fix") -------------------
+
+_MAGIC = 0x45564632  # "EVF2"
+_VERSION = 2
+_HEADER_FMT = "<IHHIIHH"
+_SECTION_FMT = "<HHI"
+_CRC_FMT = "<I"
+
+
+class _LegacyFrame:
+    def __init__(self, app_id, rank, count, flags):
+        self.app_id = app_id
+        self.rank = rank
+        self.count = count
+        self.flags = flags
+        self.sections = []
+        self.offsets = []
+        self.stored_crc = None
+        self.crc_ok = None
+
+
+def _section_name(kind: int) -> str:
+    names = {1: "PAYLOAD", 2: "CRC", 3: "PROVENANCE", 4: "CODEC", 5: "SAMPLING"}
+    return names.get(kind, f"UNKNOWN({kind})")
+
+
+def legacy_parse_frame(blob, verify: bool = True) -> _LegacyFrame:
+    """Verbatim copy of the copying parser this PR replaced (probes removed)."""
+    try:
+        view = memoryview(blob)
+    except TypeError:
+        raise PackFormatError(f"pack payload is not bytes: {type(blob).__name__}")
+    total = len(view)
+    if total < FRAME_HEADER_SIZE:
+        raise FrameTruncatedError(
+            f"frame of {total} bytes shorter than {FRAME_HEADER_SIZE}-byte header"
+        )
+    magic, version, app_id, rank, count, nsections, flags = struct.unpack_from(
+        _HEADER_FMT, view, 0
+    )
+    if magic != _MAGIC:
+        raise PackFormatError(f"bad pack magic {magic:#010x}")
+    if version != _VERSION:
+        raise PackFormatError(f"unsupported pack version {version}")
+    frame = _LegacyFrame(app_id, rank, count, flags)
+    offset = FRAME_HEADER_SIZE
+    crc_covered_end = None
+    for _ in range(nsections):
+        if offset + SECTION_HEADER_SIZE > total:
+            raise FrameTruncatedError(
+                f"frame ended at byte {total} inside a section header at {offset}"
+            )
+        stype, _reserved, length = struct.unpack_from(_SECTION_FMT, view, offset)
+        body_start = offset + SECTION_HEADER_SIZE
+        if body_start + length > total:
+            raise FrameTruncatedError(
+                f"section {_section_name(stype)} declares {length} bytes at offset "
+                f"{body_start} but frame has {total}"
+            )
+        body = bytes(view[body_start : body_start + length])
+        if stype == SEC_CRC:
+            if length != CRC_BODY_SIZE:
+                raise SectionLengthError(
+                    f"CRC section of {length} bytes, expected {CRC_BODY_SIZE}"
+                )
+            if crc_covered_end is None:
+                crc_covered_end = offset
+                frame.stored_crc = struct.unpack(_CRC_FMT, body)[0]
+        else:
+            if stype == SEC_PROVENANCE and length != PROVENANCE_BODY_SIZE:
+                raise SectionLengthError(
+                    f"provenance section of {length} bytes, "
+                    f"expected {PROVENANCE_BODY_SIZE}"
+                )
+            if stype == SEC_SAMPLING and length != SAMPLING_BODY_SIZE:
+                raise SectionLengthError(
+                    f"sampling section of {length} bytes, expected {SAMPLING_BODY_SIZE}"
+                )
+            frame.sections.append((stype, body))
+            frame.offsets.append(body_start)
+        offset = body_start + length
+    if offset != total:
+        raise SectionLengthError(
+            f"{total - offset} trailing bytes after the {nsections} declared sections"
+        )
+    if crc_covered_end is not None:
+        frame.crc_ok = zlib.crc32(view[:crc_covered_end]) == frame.stored_crc
+    if verify:
+        if frame.stored_crc is None:
+            raise ChecksumError("frame has no CRC section")
+        if not frame.crc_ok:
+            computed = zlib.crc32(view[:crc_covered_end])
+            raise ChecksumError(
+                f"pack checksum mismatch: stored {frame.stored_crc:#010x}, "
+                f"computed {computed:#010x}"
+            )
+    return frame
+
+
+# -- fuzz corpus ---------------------------------------------------------------
+
+
+def _raw_frame(rng: random.Random) -> bytes:
+    """Build a structurally random frame straight from struct.pack."""
+    sections: list[tuple[int, bytes]] = []
+    sections.append((SEC_PAYLOAD, rng.randbytes(rng.randrange(0, 200))))
+    if rng.random() < 0.5:
+        sections.append((SEC_CODEC, rng.choice([b"", b"delta+dict", b"zlib"])))
+    if rng.random() < 0.5:
+        sections.append((SEC_SAMPLING, struct.pack("<I", rng.randrange(0, 1 << 16))))
+    if rng.random() < 0.5:
+        sections.append(
+            (
+                SEC_PROVENANCE,
+                struct.pack(
+                    "<QHId",
+                    rng.randrange(0, 1 << 64),
+                    rng.randrange(0, 1 << 16),
+                    rng.randrange(0, 1 << 32),
+                    rng.random() * 100.0,
+                ),
+            )
+        )
+    if rng.random() < 0.3:  # unknown forward-compat section
+        sections.append((rng.randrange(6, 100), rng.randbytes(rng.randrange(0, 40))))
+    rng.shuffle(sections)
+    add_crc = rng.random() < 0.9
+    header = struct.pack(
+        _HEADER_FMT,
+        _MAGIC,
+        _VERSION,
+        rng.randrange(0, 1 << 16),
+        rng.randrange(0, 1 << 32),
+        rng.randrange(0, 1 << 16),
+        len(sections) + (1 if add_crc else 0),
+        rng.randrange(0, 4),
+    )
+    parts = [header]
+    for stype, body in sections:
+        parts.append(struct.pack(_SECTION_FMT, stype, 0, len(body)))
+        parts.append(body)
+    covered = b"".join(parts)
+    if not add_crc:
+        return covered
+    crc = zlib.crc32(covered)
+    return (
+        covered
+        + struct.pack(_SECTION_FMT, SEC_CRC, 0, CRC_BODY_SIZE)
+        + struct.pack(_CRC_FMT, crc)
+    )
+
+
+def _mutate(blob: bytes, rng: random.Random) -> bytes:
+    """Damage a frame in one of the ways the parser must type precisely."""
+    kind = rng.randrange(6)
+    if not blob:
+        return blob
+    if kind == 0:  # truncate anywhere
+        return blob[: rng.randrange(0, len(blob))]
+    if kind == 1:  # flip one byte anywhere (header, lengths, body, crc)
+        out = bytearray(blob)
+        out[rng.randrange(len(out))] ^= 0xFF
+        return bytes(out)
+    if kind == 2:  # trailing junk
+        return blob + rng.randbytes(rng.randrange(1, 8))
+    if kind == 3:  # lie about nsections
+        out = bytearray(blob)
+        struct.pack_into("<H", out, 16, rng.randrange(0, 8))
+        return bytes(out)
+    if kind == 4:  # corrupt a section length field
+        if len(blob) >= FRAME_HEADER_SIZE + SECTION_HEADER_SIZE:
+            out = bytearray(blob)
+            struct.pack_into(
+                "<I", out, FRAME_HEADER_SIZE + 4, rng.randrange(0, 1 << 20)
+            )
+            return bytes(out)
+        return blob
+    return rng.randbytes(rng.randrange(0, 64))  # pure garbage
+
+
+def _corpus(n: int = 400) -> list[bytes]:
+    rng = random.Random(0xEBF2)
+    blobs: list[bytes] = [b"", b"EVF2", b"\x00" * FRAME_HEADER_SIZE]
+    for _ in range(n):
+        blob = _raw_frame(rng)
+        blobs.append(blob)
+        blobs.append(_mutate(blob, rng))
+    return blobs
+
+
+# -- the differential assertions ----------------------------------------------
+
+
+def _outcome(parser, blob, verify):
+    try:
+        return ("ok", parser(blob, verify=verify))
+    except (PackFormatError,) as exc:
+        return ("err", type(exc), str(exc))
+
+
+@pytest.mark.parametrize("verify", [True, False])
+def test_new_parser_matches_frozen_legacy(verify):
+    agreed_ok = agreed_err = 0
+    for blob in _corpus():
+        legacy = _outcome(legacy_parse_frame, blob, verify)
+        current = _outcome(parse_frame, blob, verify)
+        if legacy[0] == "err":
+            # identical typed error, identical message
+            assert current[0] == "err", (blob.hex(), legacy)
+            assert current[1] is legacy[1], (blob.hex(), legacy, current)
+            assert current[2] == legacy[2], (blob.hex(), legacy, current)
+            agreed_err += 1
+            continue
+        assert current[0] == "ok", (blob.hex(), current)
+        old, new = legacy[1], current[1]
+        assert (new.app_id, new.rank, new.count, new.flags) == (
+            old.app_id,
+            old.rank,
+            old.count,
+            old.flags,
+        )
+        assert new.stored_crc == old.stored_crc
+        assert new.crc_ok == old.crc_ok
+        assert new.offsets == old.offsets
+        assert len(new.sections) == len(old.sections)
+        for (nt, nb), (ot, ob) in zip(new.sections, old.sections):
+            assert nt == ot
+            # byte-identical bodies, whatever buffer type the new parser uses
+            assert bytes(nb) == ob, (blob.hex(), nt)
+        agreed_ok += 1
+    assert agreed_ok > 100  # the corpus must actually exercise the happy path
+    assert agreed_err > 100  # ... and the error paths
+
+
+def test_peek_provenance_matches_legacy_semantics():
+    for blob in _corpus(200):
+        try:
+            frame = legacy_parse_frame(blob, verify=False)
+        except PackFormatError:
+            expected = None
+        else:
+            body = next(
+                (b for t, b in frame.sections if t == SEC_PROVENANCE), None
+            )
+            if body is None:
+                expected = None
+            else:
+                flow_id, app_id, rank, t_seal = struct.unpack("<QHId", body)
+                expected = (flow_id, app_id, rank, t_seal)
+        got = peek_provenance(blob)
+        if expected is None:
+            assert got is None, blob.hex()
+        else:
+            assert got is not None, blob.hex()
+            assert (got.flow_id, got.app_id, got.rank, got.t_seal) == expected
+
+
+def test_roundtrip_reemit_is_byte_identical():
+    rng = random.Random(7)
+    for _ in range(50):
+        blob = _raw_frame(rng)
+        try:
+            frame = parse_frame(blob)
+        except PackFormatError:
+            continue
+        assert frame.to_bytes() == blob

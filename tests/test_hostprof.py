@@ -283,8 +283,13 @@ class TestSelfPerfLane:
         table = result.table()
         assert table.columns == [
             "chain", "events", "packs", "kernel_events_per_s",
-            "stream_mb_per_s", "codec_mb_per_s", "frame_mb_per_s", "elapsed_s",
+            "stream_mb_per_s", "codec_mb_per_s", "frame_mb_per_s",
+            "kernel_allocs", "stream_allocs", "codec_allocs", "frame_allocs",
+            "elapsed_s",
         ]
+        for p in result.points:
+            assert p.kernel_allocs > 0 and p.frame_allocs > 0
+            assert p.stream_allocs >= 0 and p.codec_allocs >= 0
         assert (tmp_path / "BENCH_selfperf.hostprof.trace.json").exists()
         assert (tmp_path / "BENCH_selfperf.hostprof.jsonl").exists()
 
@@ -314,6 +319,10 @@ class TestBenchCLI:
             "--metric-tolerance", "stream_mb_per_s=0.9",
             "--metric-tolerance", "codec_mb_per_s=0.9",
             "--metric-tolerance", "frame_mb_per_s=0.9",
+            "--metric-tolerance", "kernel_allocs=0.5",
+            "--metric-tolerance", "stream_allocs=0.5",
+            "--metric-tolerance", "codec_allocs=0.5",
+            "--metric-tolerance", "frame_allocs=0.5",
         ])
         out = capsys.readouterr().out
         assert rc == 0, out
